@@ -1,0 +1,70 @@
+"""Shared, memoized experiment drivers for the benchmark harness.
+
+Figure 5, Figure 6 and several section-level benches need the same
+expensive artifacts (tuned ARTEMIS outcomes, baseline runs, deep-tuning
+sweeps).  Everything here is cached per benchmark name so one pytest
+session computes each artifact once.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Optional
+
+from repro.baselines import (
+    BaselineResult,
+    run_global,
+    run_global_stream,
+    run_ppcg,
+    run_stencilgen,
+)
+from repro.ir import ProgramIR
+from repro.pipeline import OptimizationOutcome, optimize
+from repro.suite import load_ir
+from repro.tuning import DeepTuningResult, deep_tune
+
+
+@functools.lru_cache(maxsize=None)
+def ir_of(name: str) -> ProgramIR:
+    return load_ir(name)
+
+
+@functools.lru_cache(maxsize=None)
+def artemis(name: str) -> OptimizationOutcome:
+    return optimize(ir_of(name), top_k=2)
+
+
+@functools.lru_cache(maxsize=None)
+def baseline(name: str, generator: str) -> BaselineResult:
+    runner = {
+        "ppcg": run_ppcg,
+        "global": run_global,
+        "global-stream": run_global_stream,
+        "stencilgen": run_stencilgen,
+    }[generator]
+    return runner(ir_of(name))
+
+
+@functools.lru_cache(maxsize=None)
+def deep(name: str) -> DeepTuningResult:
+    return deep_tune(ir_of(name), top_k=2)
+
+
+def fmt(value: Optional[float], digits: int = 3) -> str:
+    if value is None:
+        return "N/A"
+    return f"{value:.{digits}f}"
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    widths = [
+        max(len(str(header[col])), *(len(str(r[col])) for r in rows))
+        for col in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

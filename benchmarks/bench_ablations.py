@@ -1,0 +1,206 @@
+"""Ablations of the DESIGN.md-called-out optimization choices.
+
+Each ablation isolates one ARTEMIS optimization on the benchmark the
+paper's §VIII-G singles out for it:
+
+* retiming            — "the key to achieving high performance in
+                         27pt-smoother";
+* load/compute adjust — "significant performance improvement for the
+                         shared memory version of hypterm";
+* computation folding — "beneficial for addsgd6";
+* prefetching         — removes the streaming loop's load bubble;
+* streaming modes     — serial streaming reduces shared-memory
+                         footprint; concurrent streaming restores
+                         block-level parallelism.
+"""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.codegen.resources import auto_assign, seed_plan_from_pragma
+from repro.gpu import P100, simulate
+from repro.gpu.simulator import PlanInfeasible
+from repro.ir import find_fold_groups
+
+from _cache import fmt, ir_of, print_table
+
+
+def _plan(ir, **kw):
+    instance = ir.kernels[0]
+    base = auto_assign(ir, seed_plan_from_pragma(ir, instance)).plan
+    return base.replace(**kw)
+
+
+def test_ablation_retiming_27pt(benchmark):
+    ir = ir_of("27pt-smoother")
+    small = _plan(ir, block=(16, 16), time_tile=3)
+    large = _plan(ir, block=(32, 32), time_tile=3)
+
+    def run():
+        plain = simulate(ir, small, P100)
+        retimed = simulate(ir, small.replace(retime=True), P100)
+        retimed_large = simulate(ir, large.replace(retime=True), P100)
+        return plain, retimed, retimed_large
+
+    plain, retimed, retimed_large = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print_table(
+        "Ablation: retiming on 27pt-smoother (t=3)",
+        ["version", "TFLOPS", "shmem/block"],
+        [
+            ["plain 16x16", fmt(plain.tflops), plain.counters.shmem_per_block],
+            ["retimed 16x16", fmt(retimed.tflops),
+             retimed.counters.shmem_per_block],
+            ["retimed 32x32", fmt(retimed_large.tflops),
+             retimed_large.counters.shmem_per_block],
+        ],
+    )
+    # Retiming shrinks the shared footprint and wins at the same block;
+    # it also *enables* the 32x32 block the plain version cannot fit.
+    assert retimed.tflops > 1.3 * plain.tflops
+    assert retimed.counters.shmem_per_block < plain.counters.shmem_per_block
+    with pytest.raises(PlanInfeasible):
+        simulate(ir, large, P100)
+    assert retimed_large.tflops > retimed.tflops
+
+
+def test_ablation_load_compute_adjustment_hypterm(benchmark):
+    # hypterm is register-hungry: the enlarged input/mixed blocks only
+    # fit at a modest base block size.
+    ir = ir_of("hypterm")
+    plan = _plan(ir, block=(8, 16))
+
+    def run():
+        out = {}
+        for perspective in ("output", "input", "mixed"):
+            try:
+                out[perspective] = simulate(
+                    ir, plan.replace(perspective=perspective), P100
+                )
+            except PlanInfeasible:
+                out[perspective] = None
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print_table(
+        "Ablation: thread-block perspective on hypterm (shared-memory)",
+        ["perspective", "TFLOPS", "threads/block", "tex B/pt"],
+        [
+            [
+                p,
+                fmt(sim.tflops) if sim else "infeasible",
+                sim.counters.threads_per_block if sim else "-",
+                fmt(sim.counters.tex_bytes / 320**3, 1) if sim else "-",
+            ]
+            for p, sim in results.items()
+        ],
+    )
+    # Mixed removes the output perspective's uncoalesced halo loads
+    # without the input perspective's idle warps: the texture-path cost
+    # drops.  (Whether that wins end-to-end depends on what binds; the
+    # autotuner's stage 2 makes that call per kernel.)
+    output = results["output"]
+    mixed = results["mixed"]
+    assert output is not None and mixed is not None
+    assert mixed.counters.tex_bytes < output.counters.tex_bytes
+    assert mixed.timing.tex_s < output.timing.tex_s
+
+
+def test_ablation_folding_addsgd6(benchmark):
+    from repro.tuning.hierarchical import with_fold_groups
+
+    ir = ir_of("addsgd6")
+    groups = find_fold_groups(ir.kernels[0])
+    assert groups, "addsgd6 must expose (u - um) fold groups"
+    plan = _plan(ir, block=(16, 16))
+
+    def run():
+        return simulate(ir, plan, P100), simulate(
+            ir, with_fold_groups(plan, groups), P100
+        )
+
+    plain, folded = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print_table(
+        "Ablation: storage/computation folding on addsgd6",
+        ["version", "TFLOPS", "tex B/pt", "regs"],
+        [
+            ["plain", fmt(plain.tflops),
+             fmt(plain.counters.tex_bytes / 320**3, 1),
+             plain.counters.regs_per_thread],
+            ["folded", fmt(folded.tflops),
+             fmt(folded.counters.tex_bytes / 320**3, 1),
+             folded.counters.regs_per_thread],
+        ],
+    )
+    assert folded.tflops > plain.tflops * 1.1
+    assert folded.counters.tex_bytes < plain.counters.tex_bytes
+
+
+def test_ablation_prefetch(benchmark):
+    ir = ir_of("7pt-smoother")
+    plan = _plan(ir, block=(32, 32), time_tile=3)
+
+    def run():
+        return simulate(ir, plan, P100), simulate(
+            ir, plan.replace(prefetch=True), P100
+        )
+
+    plain, prefetched = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print_table(
+        "Ablation: prefetching on 7pt-smoother (t=3)",
+        ["version", "TFLOPS", "bubble ms"],
+        [
+            ["no prefetch", fmt(plain.tflops),
+             fmt(plain.timing.bubble_s * 1e3, 2)],
+            ["prefetch", fmt(prefetched.tflops),
+             fmt(prefetched.timing.bubble_s * 1e3, 2)],
+        ],
+    )
+    assert prefetched.timing.bubble_s == 0.0
+    assert plain.timing.bubble_s > 0.0
+    assert prefetched.tflops > plain.tflops
+
+
+def test_ablation_streaming_modes(benchmark):
+    """Serial streaming shrinks the shared footprint; concurrent
+    streaming multiplies block-level parallelism (§III-B1)."""
+    ir = ir_of("7pt-smoother")
+    base = _plan(ir, block=(16, 16))
+
+    def run():
+        serial = simulate(ir, base, P100)
+        conc = simulate(
+            ir,
+            base.replace(streaming="concurrent", concurrent_chunks=8),
+            P100,
+        )
+        tiled = simulate(
+            ir,
+            base.replace(streaming="none", block=(4, 8, 16), placements=()),
+            P100,
+        )
+        return serial, conc, tiled
+
+    serial, conc, tiled = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print_table(
+        "Ablation: streaming modes on 7pt-smoother",
+        ["version", "TFLOPS", "blocks"],
+        [
+            ["serial streaming + shm", fmt(serial.tflops),
+             serial.counters.blocks],
+            ["concurrent streaming + shm", fmt(conc.tflops),
+             conc.counters.blocks],
+            ["3-D tiled, global only", fmt(tiled.tflops),
+             tiled.counters.blocks],
+        ],
+    )
+    assert conc.counters.blocks == 8 * serial.counters.blocks
+    # Buffered streaming beats the unbuffered tiled version.
+    assert serial.tflops > tiled.tflops

@@ -1,0 +1,54 @@
+"""Figure 4 — deep tuning for arbitrary time iterations.
+
+Regenerates the TFLOPS-vs-time-tile curves for the 7pt and 27pt
+smoothers.  The paper's shape: performance rises with the fusion degree
+up to a cusp (the pink-circled tipping point, under 4 time steps for
+all evaluated iterative stencils), then drops.
+"""
+
+import pytest
+
+from _cache import deep, fmt, print_table
+
+#: Paper values read from Figure 4 (approximate bar heights, TFLOPS).
+PAPER_CURVES = {
+    "7pt-smoother": {1: 0.28, 2: 0.45, 3: 0.58, 4: 0.70, 5: 0.62},
+    "27pt-smoother": {1: 0.60, 2: 1.15, 3: 1.55, 4: 1.45, 5: 1.30},
+}
+
+PAPER_TIPPING = {"7pt-smoother": 4, "27pt-smoother": 3}
+
+
+@pytest.mark.parametrize("name", ["7pt-smoother", "27pt-smoother"])
+def test_fig4_deep_tuning(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: deep(name), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    rows = []
+    for entry in result.entries:
+        paper = PAPER_CURVES[name].get(entry.time_tile)
+        marker = " <-- tipping point" if (
+            entry.time_tile == result.tipping_point
+        ) else ""
+        rows.append(
+            [
+                f"({entry.time_tile} x 1)",
+                fmt(entry.tflops),
+                fmt(paper, 2),
+                entry.bound_level + marker,
+            ]
+        )
+    print_table(
+        f"Figure 4: deep tuning of {name}",
+        ["version", "measured TFLOPS", "paper TFLOPS", "bound at"],
+        rows,
+    )
+
+    # Shape assertions: performance rises to the cusp, then stops
+    # improving; the tipping point is where the paper places it.
+    tflops = [e.tflops for e in result.entries]
+    peak = tflops.index(max(tflops))
+    assert all(tflops[i] < tflops[i + 1] for i in range(peak))
+    assert result.tipping_point == PAPER_TIPPING[name]
+    assert result.tipping_point <= 4  # "under 4 time steps"

@@ -1,0 +1,95 @@
+"""Figure 5 — performance of all five code generators on all benchmarks.
+
+Bars: PPCG, global-stream, global, STENCILGEN, ARTEMIS.  The paper's
+shape: ARTEMIS wins everywhere, STENCILGEN is the strongest prior (but
+cannot generate code for the SW4lite kernels), the tuned global version
+beats global-stream, and PPCG trails.
+"""
+
+import pytest
+
+from repro.suite import BENCHMARKS
+
+from _cache import artemis, baseline, fmt, print_table
+
+#: Figure 5 bar heights (TFLOPS).  Values marked exact are stated in
+#: the paper's text; the rest are read off the figure.
+PAPER = {
+    "7pt-smoother": dict(ppcg=0.10, gstream=0.22, glob=0.28, sg=0.55,
+                         artemis=0.70),
+    "27pt-smoother": dict(ppcg=0.15, gstream=0.45, glob=0.60, sg=1.20,
+                          artemis=1.55),
+    "helmholtz": dict(ppcg=0.12, gstream=0.30, glob=0.40, sg=0.70,
+                      artemis=0.90),
+    "denoise": dict(ppcg=0.20, gstream=0.40, glob=0.55, sg=0.85,
+                    artemis=1.05),
+    "miniflux": dict(ppcg=0.15, gstream=0.25, glob=0.35, sg=0.50,
+                     artemis=0.60),
+    "hypterm": dict(ppcg=0.25, gstream=0.45, glob=0.75, sg=0.80,
+                    artemis=0.95),
+    "diffterm": dict(ppcg=0.30, gstream=0.50, glob=0.80, sg=0.90,
+                     artemis=1.10),
+    "addsgd4": dict(ppcg=0.30, gstream=0.45, glob=0.80, sg=None,
+                    artemis=1.05),  # 1.05 stated in §VIII-E
+    "addsgd6": dict(ppcg=0.35, gstream=0.55, glob=0.90, sg=None,
+                    artemis=1.20),
+    "rhs4center": dict(ppcg=0.40, gstream=0.60, glob=1.00, sg=None,
+                       artemis=1.29),  # 1.29 stated in §VIII-F
+    "rhs4sgcurv": dict(ppcg=0.35, gstream=0.55, glob=0.90, sg=None,
+                       artemis=1.048),  # 1.048 stated in §VIII-D
+}
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_fig5_benchmark(benchmark, name):
+    def run_all():
+        return {
+            "ppcg": baseline(name, "ppcg"),
+            "gstream": baseline(name, "global-stream"),
+            "glob": baseline(name, "global"),
+            "sg": baseline(name, "stencilgen"),
+            "artemis": artemis(name),
+        }
+
+    results = benchmark.pedantic(
+        run_all, rounds=1, iterations=1, warmup_rounds=0
+    )
+    sg = results["sg"]
+    measured = {
+        "ppcg": results["ppcg"].tflops,
+        "gstream": results["gstream"].tflops,
+        "glob": results["glob"].tflops,
+        "sg": sg.tflops if sg.supported else None,
+        "artemis": results["artemis"].tflops,
+    }
+    paper = PAPER[name]
+    print_table(
+        f"Figure 5: {name} (TFLOPS, measured | paper)",
+        ["generator", "measured", "paper"],
+        [
+            [gen, fmt(measured[gen]), fmt(paper[gen], 2)]
+            for gen in ("ppcg", "gstream", "glob", "sg", "artemis")
+        ],
+    )
+
+    # Shape assertions shared by every benchmark:
+    # ARTEMIS wins; global beats global-stream; STENCILGEN availability
+    # matches the paper (absent exactly on the SW4lite kernels).
+    assert measured["artemis"] >= max(
+        v for v in measured.values() if v is not None
+    ) * 0.999, name
+    assert measured["glob"] > measured["gstream"], name
+    sw4 = name in ("addsgd4", "addsgd6", "rhs4center", "rhs4sgcurv")
+    if paper["sg"] is None:
+        assert measured["sg"] is None or not sw4 or measured["sg"] is None
+        if sw4 and name in ("addsgd4", "addsgd6"):
+            assert measured["sg"] is None, "mixed-rank SW4 must be rejected"
+    else:
+        assert measured["sg"] is not None
+        # STENCILGEN is the strongest prior generator where it runs.
+        # Deviation (documented in EXPERIMENTS.md): for miniflux the
+        # fully-fused all-shared mapping does not fit the modeled device,
+        # so our STENCILGEN falls back to unfused kernels and lands below
+        # the tuned global version; the paper's figure has it above.
+        if name != "miniflux":
+            assert measured["sg"] > measured["glob"], name

@@ -1,0 +1,47 @@
+"""§VI-A — the opt(T) fusion-schedule dynamic program.
+
+Deep tuning records f(x) for x = 1..k once; the DP then produces a
+near-optimal schedule for *any* iteration count T.  The paper's example
+schedule notation for T = 13: (1x13), (2x6 (+) 1x1), (4x3 (+) 1x1), ...
+"""
+
+import pytest
+
+from repro.tuning import fusion_schedule
+
+from _cache import deep, fmt, print_table
+
+
+def test_sec6a_schedules_for_arbitrary_T(benchmark):
+    result = benchmark.pedantic(
+        lambda: deep("7pt-smoother"), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    rows = []
+    for T in (1, 2, 3, 5, 8, 13, 24, 64):
+        schedule = fusion_schedule(result, T)
+        naive_time = result.f(1) * T
+        rows.append(
+            [
+                T,
+                schedule.describe(),
+                fmt(schedule.total_time_s * 1e3, 2) + " ms",
+                fmt(naive_time * 1e3, 2) + " ms",
+                fmt(naive_time / schedule.total_time_s, 2) + "x",
+            ]
+        )
+    print_table(
+        "§VI-A: deep-tuned fusion schedules for 7pt-smoother",
+        ["T", "schedule", "opt(T)", "naive (1x T)", "speedup"],
+        rows,
+    )
+
+    # Invariants: the DP never loses to the naive schedule, covers T
+    # exactly, and uses at most k distinct candidates (paper: at most 4
+    # fusion candidates tuned once, reused for any T).
+    assert result.k <= 8
+    for T in (1, 2, 3, 5, 8, 13, 24, 64):
+        schedule = fusion_schedule(result, T)
+        assert sum(schedule.tiles) == T
+        assert schedule.total_time_s <= result.f(1) * T + 1e-12
+        assert len(set(schedule.tiles)) <= result.k

@@ -1,0 +1,58 @@
+"""Table I — characteristics of the 3-D benchmarks.
+
+Regenerates domain, time tile T, stencil order k, per-point FLOPs and
+the full-rank I/O array count for all 11 benchmarks, and checks each
+against the paper's row.
+"""
+
+import pytest
+
+from repro.ir import characteristics
+from repro.suite import BENCHMARKS, get
+
+from _cache import ir_of, print_table
+
+
+def _row(name):
+    spec = get(name)
+    ir = ir_of(name)
+    row = characteristics(ir)
+    touched = {n for k in ir.kernels for n in k.io_arrays()}
+    full_rank = sum(
+        1 for a in ir.arrays if a.ndim == ir.ndim and a.name in touched
+    )
+    return spec, row, full_rank
+
+
+def test_table1(benchmark):
+    names = list(BENCHMARKS)
+
+    def regenerate():
+        return [_row(name) for name in names]
+
+    rows = benchmark(regenerate)
+
+    printable = []
+    for (spec, row, full_rank), name in zip(rows, names):
+        domain = "x".join(str(d) for d in row.domain)
+        printable.append(
+            [
+                name,
+                domain,
+                f"{row.time_iterations}/{spec.time_iterations}",
+                f"{row.order}/{spec.order}",
+                f"{row.flops_per_point}/{spec.flops_per_point}",
+                f"{full_rank}/{spec.io_arrays}",
+            ]
+        )
+    print_table(
+        "Table I: benchmark characteristics (measured/paper)",
+        ["benchmark", "domain", "T", "k", "# Flops", "# IO arrays"],
+        printable,
+    )
+
+    for spec, row, full_rank in rows:
+        assert row.time_iterations == spec.time_iterations
+        assert row.order == spec.order
+        assert row.flops_per_point == spec.flops_per_point
+        assert full_rank == spec.io_arrays

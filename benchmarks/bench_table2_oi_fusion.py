@@ -1,0 +1,84 @@
+"""Table II — OI at each memory level per fusion degree of 7pt-smoother.
+
+The paper's trend: with increasing fusion degree, OI_dram and OI_tex
+climb toward the ridge points (the computation stops being bandwidth-
+bound at DRAM/texture) while OI_shm stays flat — the bound migrates
+onto shared memory.
+"""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.gpu import P100, simulate
+
+from _cache import deep, fmt, ir_of, print_table
+
+#: Table II of the paper.
+PAPER = {
+    "global": {"dram": 0.97, "tex": 0.29, "shm": None},
+    1: {"dram": 0.97, "tex": 0.98, "shm": 0.22},
+    2: {"dram": 2.01, "tex": 3.06, "shm": 0.25},
+    3: {"dram": 2.84, "tex": 4.51, "shm": 0.24},
+    4: {"dram": 4.26, "tex": 5.56, "shm": 0.22},
+    5: {"dram": 5.90, "tex": 6.42, "shm": 0.21},
+}
+
+
+def _global_plan(ir):
+    return KernelPlan(
+        kernel_names=(ir.kernels[0].name,),
+        block=(4, 8, 16),
+        streaming="none",
+    )
+
+
+def test_table2_oi_per_fusion_degree(benchmark):
+    ir = ir_of("7pt-smoother")
+    result = benchmark.pedantic(
+        lambda: deep("7pt-smoother"), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    versions = [("global", simulate(ir, _global_plan(ir), P100))]
+    for entry in result.entries:
+        versions.append(
+            (entry.time_tile, simulate(ir, entry.measurement.plan, P100))
+        )
+
+    rows = []
+    measured = {}
+    for label, sim in versions:
+        counters = sim.counters
+        measured[label] = {
+            level: counters.oi(level) for level in ("dram", "tex", "shm")
+        }
+        paper = PAPER.get(label, {})
+        rows.append(
+            [
+                label if label == "global" else f"{label} x 1",
+                fmt(measured[label]["dram"], 2),
+                fmt(paper.get("dram"), 2),
+                fmt(measured[label]["tex"], 2),
+                fmt(paper.get("tex"), 2),
+                fmt(measured[label]["shm"], 2)
+                if counters.shm_bytes
+                else "-",
+                fmt(paper.get("shm"), 2),
+            ]
+        )
+    print_table(
+        "Table II: OI per fusion degree of 7pt-smoother (measured | paper)",
+        ["version", "OIdram", "paper", "OItex", "paper", "OIshm", "paper"],
+        rows,
+    )
+
+    # Shape assertions: OI_dram and OI_tex rise monotonically with the
+    # fusion degree; OI_shm stays within a flat band.
+    degrees = [lab for lab, _ in versions if lab != "global"]
+    dram = [measured[d]["dram"] for d in degrees]
+    tex = [measured[d]["tex"] for d in degrees]
+    shm = [measured[d]["shm"] for d in degrees]
+    assert dram == sorted(dram)
+    assert tex == sorted(tex)
+    assert max(shm) <= 2.5 * min(shm)
+    # The global version has no shared-memory traffic (paper: '-').
+    assert versions[0][1].counters.shm_bytes == 0

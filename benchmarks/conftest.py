@@ -1,0 +1,11 @@
+"""Benchmark harness configuration.
+
+Every module regenerates one of the paper's tables or figures and
+prints the reproduced rows (paper value next to measured where the paper
+states one).  ``pytest benchmarks/ --benchmark-only`` runs them all.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

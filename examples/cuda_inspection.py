@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Inspecting the CUDA ARTEMIS emits for different plan choices.
+
+The same stencil is rendered under four plans — plain streaming
+(Listing 2's shape), prefetched, retimed, and 3-D tiled — to show how
+each optimization changes the generated kernel structure.
+
+Run:  python examples/cuda_inspection.py
+"""
+
+from repro import build_ir, emit_cuda, parse
+from repro.codegen import KernelPlan
+
+SRC = """
+parameter L=256, M=256, N=256;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b;
+copyin in, a, b;
+stencil heat (B, A, a, b) {
+  B[k][j][i] = a*A[k][j][i] + b*(A[k][j][i+1] + A[k][j][i-1]
+    + A[k][j+1][i] + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i]);
+}
+heat (out, in, a, b);
+copyout out;
+"""
+
+
+def show(title: str, source: str, keep=28) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    lines = source.splitlines()
+    for line in lines[:keep]:
+        print(line)
+    if len(lines) > keep:
+        print(f"... ({len(lines) - keep} more lines)")
+    print()
+
+
+def main() -> None:
+    ir = build_ir(parse(SRC))
+    base = KernelPlan(
+        kernel_names=("heat.0",),
+        block=(32, 16),
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+
+    show("serial streaming + shared plane + register window (Listing 2)",
+         emit_cuda(ir, base).source)
+    show("with prefetching (§III-A4: load overlapped with compute)",
+         emit_cuda(ir, base.replace(prefetch=True)).source)
+    show("retimed (§III-B2: accumulator window, homogenized terms)",
+         emit_cuda(ir, base.replace(retime=True)).source, keep=40)
+    show("non-streaming 3-D tiling, global memory only",
+         emit_cuda(
+             ir,
+             base.replace(streaming="none", block=(4, 8, 16),
+                          placements=()),
+         ).source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Retargeting the model: P100 vs V100 vs a custom device.
+
+The profiling component is parameterized by the device's theoretical
+peaks ("the user is expected to provide these theoretical peak values",
+§IV).  This example optimizes the same stencil for three devices and
+shows how the ridge points move the bottleneck verdicts and the chosen
+plans.
+
+Run:  python examples/custom_device.py
+"""
+
+from repro import P100, V100, optimize, simulate
+from repro.gpu.device import DeviceSpec
+from repro.profiling import classify_result
+from repro.suite import load_ir
+
+# A hypothetical bandwidth-starved accelerator: same compute as P100,
+# half the DRAM bandwidth — fusion should pay off longer.
+SKINNY = DeviceSpec(
+    name="SKINNY",
+    sms=56,
+    peak_gflops=4700.0,
+    dram_bw_gbs=366.0,
+    tex_bw_gbs=2000.0,
+    shm_bw_gbs=9592.0,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+)
+
+
+def main() -> None:
+    ir = load_ir("7pt-smoother")
+    print(f"{'device':8s} {'ridge dram':>10s} {'TFLOPS':>8s} "
+          f"{'tipping pt':>10s}  best launch")
+    for device in (P100, V100, SKINNY):
+        outcome = optimize(ir, device=device)
+        tipping = (
+            outcome.deep_tuning.tipping_point
+            if outcome.deep_tuning
+            else "-"
+        )
+        plan = outcome.schedule.plans[0]
+        print(f"{device.name:8s} {device.ridge_dram:10.2f} "
+              f"{outcome.tflops:8.3f} {tipping!s:>10s}  {plan.describe()}")
+
+    print("\nbottleneck verdicts for the paper's tuned (4 x 1) version:")
+    from repro.codegen import KernelPlan
+
+    plan = KernelPlan(
+        kernel_names=("smooth7.0",),
+        block=(32, 32),
+        time_tile=4,
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+    for device in (P100, V100, SKINNY):
+        sim = simulate(ir, plan, device)
+        verdict = classify_result(sim, device)
+        print(f"  {device.name:8s}: bound at {verdict.bound_level:8s} "
+              f"OI(dram)={sim.counters.oi('dram'):.2f} "
+              f"vs ridge {device.ridge_dram:.2f}")
+
+    print("\nThe bandwidth-starved device stays DRAM-bound at higher "
+          "fusion degrees, so its tipping point moves right — the "
+          "device model drives the optimization decisions, exactly as "
+          "Section IV intends.")
+
+
+if __name__ == "__main__":
+    main()

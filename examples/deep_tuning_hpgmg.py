@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Deep tuning an HPGMG smoother for arbitrary time iterations (§VI-A).
+
+The smoothing degree in multigrid varies per level and per cycle, so the
+iteration count T is not fixed at compile time.  ARTEMIS deep-tunes the
+fusion degree once — autotuning version (x by 1) for x = 1, 2, ... while
+profiling says the kernel is still bandwidth-bound — and then answers
+*any* T with the opt(T) dynamic program.
+
+Run:  python examples/deep_tuning_hpgmg.py
+"""
+
+from repro.suite import load_ir
+from repro.tuning import deep_tune, fusion_schedule, schedule_to_program_plan
+
+
+def main() -> None:
+    ir = load_ir("7pt-smoother")
+    print("deep tuning the HPGMG 7pt smoother (512^3, P100 model)...")
+    result = deep_tune(ir)
+
+    print(f"\ntuned fusion degrees 1..{result.k} "
+          f"({result.evaluations} simulator evaluations):")
+    for entry in result.entries:
+        marker = "  <-- tipping point" if (
+            entry.time_tile == result.tipping_point
+        ) else ""
+        print(f"  ({entry.time_tile} x 1): {entry.tflops:6.3f} TFLOPS, "
+              f"{entry.time_s * 1e3:7.2f} ms/launch, "
+              f"bound at {entry.bound_level}{marker}")
+
+    print("\nfusion schedules from the opt(T) dynamic program:")
+    print(f"  {'T':>4s}  {'schedule':<22s} {'time':>10s} {'vs naive':>9s}")
+    for iterations in (2, 4, 6, 12, 13, 20, 50, 100):
+        schedule = fusion_schedule(result, iterations)
+        naive = result.f(1) * iterations
+        print(f"  {iterations:4d}  {schedule.describe():<22s} "
+              f"{schedule.total_time_s * 1e3:8.2f}ms "
+              f"{naive / schedule.total_time_s:8.2f}x")
+
+    # Materialize one schedule as launchable plans.
+    schedule = fusion_schedule(result, 13)
+    program_plan = schedule_to_program_plan(result, schedule)
+    print(f"\nschedule for T=13 -> {len(program_plan.plans)} distinct "
+          f"launch configuration(s):")
+    for plan, count in zip(program_plan.plans, program_plan.counts):
+        print(f"  x{count}: {plan.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Optimizing a multi-statement image pipeline (CDSC denoise).
+
+denoise is a two-kernel DAG applied iteratively: an edge-stopping
+coefficient kernel feeding a diffusion update.  ARTEMIS fuses the DAG,
+deep-tunes the time dimension, and compares against launching the two
+kernels separately — and the whole schedule is validated against the
+reference executor on a small grid.
+
+Run:  python examples/image_pipeline_denoise.py
+"""
+
+import numpy as np
+
+from repro import build_ir, optimize, parse
+from repro.gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    execute_program_plan,
+    execute_reference,
+)
+from repro.ir import intermediate_arrays, kernel_dag
+from repro.pipeline import format_report
+from repro.suite import get
+
+
+def main() -> None:
+    spec = get("denoise")
+    ir = spec.ir()
+
+    print("denoise: CDSC image-processing pipeline")
+    graph = kernel_dag(ir)
+    print(f"kernel DAG: {list(graph.edges(data='array'))}")
+    print(f"intermediate arrays: {intermediate_arrays(ir)}")
+
+    outcome = optimize(ir, top_k=2)
+    print()
+    print(format_report(outcome))
+
+    # Validate on a small grid: the optimized schedule must equal the
+    # reference (two kernels per step, 12 ping-ponged applications).
+    small_ir = build_ir(parse(spec.dsl().replace("=512", "=20")))
+    small = optimize(small_ir, top_k=1)
+    inputs = allocate_inputs(small_ir)
+    scalars = {k: v * 0.1 for k, v in default_scalars(small_ir).items()}
+    reference = execute_reference(small_ir, inputs, scalars)
+    if small.variant == "deep-tuned":
+        # The deep-tuned schedule runs the *fused* kernel.
+        scheduled = execute_program_plan(
+            small.ir, small.schedule, inputs, scalars
+        )
+    else:
+        scheduled = execute_program_plan(
+            small_ir, small.schedule, inputs, scalars
+        )
+    exact = np.allclose(reference["uout"], scheduled["uout"], rtol=1e-12)
+    print(f"\noptimized schedule matches the reference: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

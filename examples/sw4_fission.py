@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Kernel fission for the register-constrained SW4 kernels (§VI-B, §VIII-D).
+
+The monolithic rhs4sgcurv kernel spills registers even at the device's
+255-per-thread ceiling.  ARTEMIS generates fission candidates as DSL
+specification files (the paper's Figure 3c); the trivial-fission split
+into three spill-free sub-kernels roughly doubles performance.
+
+Run:  python examples/sw4_fission.py
+"""
+
+from repro.codegen.resources import auto_assign, seed_plan_from_pragma
+from repro.gpu import P100, simulate
+from repro.suite import load_ir
+from repro.tuning import generate_fission_candidates
+from repro.tuning.hierarchical import HierarchicalTuner
+
+
+def evaluate(candidate):
+    """Tune every kernel of a candidate and report aggregate TFLOPS."""
+    total_time, useful, spills = 0.0, 0.0, []
+    for instance in candidate.ir.kernels:
+        seed = auto_assign(
+            candidate.ir, seed_plan_from_pragma(candidate.ir, instance)
+        ).plan
+        result = HierarchicalTuner(candidate.ir, device=P100, top_k=2).tune(
+            seed
+        )
+        sim = simulate(candidate.ir, result.best_plan, P100)
+        total_time += sim.time_s
+        useful += sim.counters.useful_flops
+        spills.append(sim.counters.spilled_registers)
+    return useful / total_time / 1e12, spills
+
+
+def main() -> None:
+    ir = load_ir("rhs4sgcurv")
+    print("rhs4sgcurv: order-2 curvilinear elastic-wave RHS, "
+          f"{len(ir.kernels[0].statements)} statements, "
+          "13 full-rank arrays\n")
+
+    for candidate in generate_fission_candidates(ir):
+        tflops, spills = evaluate(candidate)
+        print(f"{candidate.label:18s}: {len(candidate.ir.kernels)} kernel(s), "
+              f"{tflops:.3f} TFLOPS, spilled registers per kernel: {spills}")
+        if candidate.label == "trivial-fission":
+            print("\n--- generated DSL for the trivial-fission candidate "
+                  "(Figure 3c), first 25 lines ---")
+            for line in candidate.dsl.splitlines()[:25]:
+                print(line)
+            print("...\n")
+
+    print("paper (P100): maxfuse 0.48 TFLOPS vs trivial-fission "
+          "1.048 TFLOPS (2.18x)")
+
+
+if __name__ == "__main__":
+    main()

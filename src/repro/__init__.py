@@ -1,0 +1,72 @@
+"""ARTEMIS reproduction: profiling-driven GPU stencil code generation.
+
+Public API highlights::
+
+    from repro import parse, build_ir, optimize, simulate, P100
+
+    ir = build_ir(parse(dsl_text))        # frontend + IR
+    outcome = optimize(ir)                # end-to-end ARTEMIS flow (§VII)
+    print(outcome.tflops, outcome.variant)
+
+    from repro.codegen import emit_cuda   # CUDA source for any plan
+    from repro.suite import load_ir       # the 11 paper benchmarks
+"""
+
+from .codegen import (
+    GeneratedProgram,
+    KernelPlan,
+    ProgramPlan,
+    emit_cuda,
+    generate_baseline,
+    lower,
+    realize,
+)
+from .dsl import parse
+from .gpu import DeviceSpec, P100, V100, SimulationResult, simulate
+from .gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    execute_plan,
+    execute_program_plan,
+    execute_reference,
+)
+from .ir import ProgramIR, build_ir, characteristics
+from .pipeline import OptimizationOutcome, format_report, optimize
+from .profiling import advise, classify_result, profile
+from .tuning import deep_tune, fusion_schedule, tune_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceSpec",
+    "GeneratedProgram",
+    "KernelPlan",
+    "OptimizationOutcome",
+    "P100",
+    "ProgramIR",
+    "ProgramPlan",
+    "SimulationResult",
+    "V100",
+    "__version__",
+    "advise",
+    "allocate_inputs",
+    "build_ir",
+    "characteristics",
+    "classify_result",
+    "deep_tune",
+    "default_scalars",
+    "emit_cuda",
+    "execute_plan",
+    "execute_program_plan",
+    "execute_reference",
+    "format_report",
+    "fusion_schedule",
+    "generate_baseline",
+    "lower",
+    "optimize",
+    "parse",
+    "profile",
+    "realize",
+    "simulate",
+    "tune_kernel",
+]

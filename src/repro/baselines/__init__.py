@@ -1,0 +1,17 @@
+"""Comparison code generators of Section VIII-F, re-implemented as
+strategies over the same simulated device."""
+
+from .naive import BaselineResult, run_global, run_global_stream
+from .ppcg import guard_overhead, run_ppcg
+from .stencilgen import UnsupportedProgram, check_supported, run_stencilgen
+
+__all__ = [
+    "BaselineResult",
+    "UnsupportedProgram",
+    "check_supported",
+    "guard_overhead",
+    "run_global",
+    "run_global_stream",
+    "run_ppcg",
+    "run_stencilgen",
+]

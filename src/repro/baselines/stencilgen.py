@@ -1,0 +1,148 @@
+"""STENCILGEN-like baseline (Section VIII-F).
+
+STENCILGEN is the strongest prior generator the paper compares against.
+Its strategy (per the paper and [9], [17]):
+
+* serial streaming with **every** full-rank input buffered in shared
+  memory — it "applies all the optimizations simultaneously" with no
+  resource-driven assignment;
+* time tiling / fusion for iterative and multi-statement stencils, with
+  retiming when the statements are in a retimable form;
+* **no** loop unrolling, prefetching, concurrent streaming or
+  thread-block load/compute adjustment (the ARTEMIS-specific
+  optimizations the paper credits for its wins);
+* no kernel fission — the DAG is maximally fused;
+* it "does not support domains with different dimensions within the
+  same stencil function", so the SW4lite kernels are unsupported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..codegen.plan import KernelPlan, ProgramPlan, SHMEM, STREAM_SERIAL
+from ..gpu.device import DeviceSpec, P100
+from ..gpu.simulator import PlanInfeasible, simulate
+from ..ir.homogenize import kernel_retimable
+from ..ir.stencil import ProgramIR, StencilInstance
+from ..tuning.fusion import maxfuse
+from .naive import BaselineResult
+
+_BLOCKS = ((16, 16), (32, 16), (16, 32), (32, 32), (8, 32), (64, 8))
+
+
+class UnsupportedProgram(Exception):
+    """The program uses features STENCILGEN cannot compile."""
+
+
+def check_supported(ir: ProgramIR) -> None:
+    """STENCILGEN rejects mixed-dimensionality stencil functions."""
+    for instance in ir.kernels:
+        ranks = set()
+        for array in instance.io_arrays():
+            info = ir.array_map.get(array)
+            if info is not None:
+                ranks.add(info.ndim)
+        if len(ranks) > 1:
+            raise UnsupportedProgram(
+                f"kernel {instance.name!r} mixes array ranks {sorted(ranks)}: "
+                "STENCILGEN does not support domains with different "
+                "dimensions within the same stencil function"
+            )
+
+
+def _all_shared(ir: ProgramIR, instance: StencilInstance) -> tuple:
+    placements = []
+    for array in instance.arrays_read():
+        info = ir.array_map.get(array)
+        if info is not None and info.ndim == ir.ndim:
+            placements.append((array, SHMEM))
+    return tuple(placements)
+
+
+def run_stencilgen(
+    ir: ProgramIR,
+    device: DeviceSpec = P100,
+    max_fusion: int = 4,
+) -> BaselineResult:
+    """Simulate the STENCILGEN strategy on a program."""
+    try:
+        check_supported(ir)
+    except UnsupportedProgram as exc:
+        return BaselineResult(
+            label="stencilgen",
+            tflops=0.0,
+            schedule=None,
+            supported=False,
+            reason=str(exc),
+        )
+    fused = maxfuse(ir, name="sg_fused")
+    result = _run_on(fused, device, max_fusion)
+    if not result.supported and len(fused.kernels) < len(ir.kernels):
+        # All-shared buffering of the fully fused DAG does not fit:
+        # fall back to per-kernel generation (still all-shared).
+        result = _run_on(ir, device, max_fusion)
+    return result
+
+
+def _run_on(
+    fused: ProgramIR, device: DeviceSpec, max_fusion: int
+) -> BaselineResult:
+    best_tflops = 0.0
+    best_schedule: Optional[ProgramPlan] = None
+    fusion_degrees = (
+        range(1, max_fusion + 1) if fused.is_iterative else (1,)
+    )
+    for degree in fusion_degrees:
+        total_time = 0.0
+        useful = 0.0
+        plans: List[KernelPlan] = []
+        feasible = True
+        for instance in fused.kernels:
+            iterator = fused.iterators[0]
+            retime = kernel_retimable(fused, instance, iterator)
+            best_time = None
+            best_plan = None
+            stage_useful = 0.0
+            for block in _BLOCKS:
+                plan = KernelPlan(
+                    kernel_names=(instance.name,),
+                    block=block,
+                    streaming=STREAM_SERIAL,
+                    stream_axis=0,
+                    time_tile=degree if fused.is_iterative else 1,
+                    placements=_all_shared(fused, instance),
+                    retime=retime,
+                )
+                try:
+                    sim = simulate(fused, plan, device)
+                except PlanInfeasible:
+                    continue
+                if best_time is None or sim.time_s < best_time:
+                    best_time = sim.time_s
+                    best_plan = plan
+                    stage_useful = sim.counters.useful_flops
+            if best_time is None:
+                feasible = False
+                break
+            total_time += best_time
+            useful += stage_useful
+            plans.append(best_plan)
+        if not feasible or total_time <= 0:
+            continue
+        tflops = useful / total_time / 1e12
+        if tflops > best_tflops:
+            best_tflops = tflops
+            best_schedule = ProgramPlan(plans=tuple(plans))
+    if best_schedule is None:
+        return BaselineResult(
+            label="stencilgen",
+            tflops=0.0,
+            schedule=None,
+            supported=False,
+            reason="no feasible shared-memory mapping (resource "
+            "over-subscription)",
+        )
+    return BaselineResult(
+        label="stencilgen", tflops=best_tflops, schedule=best_schedule
+    )

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+* ``characteristics <spec.dsl | benchmark>`` — print the Table-I-style
+  characteristics of a specification.
+* ``optimize <spec.dsl | benchmark>``        — run the full ARTEMIS flow
+  and print the optimization report.
+* ``cuda <spec.dsl | benchmark>``            — emit the baseline CUDA.
+* ``profile <spec.dsl | benchmark>``         — profile the baseline and
+  print the nvprof-style metrics plus the roofline verdicts.
+* ``suite``                                  — list the 11 built-in
+  benchmarks.
+* ``deep-tune <benchmark> [-T N]``           — deep-tune an iterative
+  benchmark and print the fusion schedule for N iterations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .codegen.generator import generate_baseline, lower
+from .gpu.device import DEVICES, DeviceSpec, P100
+from .ir.analysis import characteristics
+from .pipeline import format_report, optimize
+from .profiling import classify_result, profile
+from .suite import BENCHMARKS, get as get_benchmark
+
+
+def _load(source: str):
+    """Resolve a positional argument: a benchmark name or a DSL file."""
+    if source in BENCHMARKS:
+        return get_benchmark(source).ir()
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {source!r} is neither a built-in benchmark "
+            f"({', '.join(BENCHMARKS)}) nor a file"
+        )
+    return lower(path.read_text())
+
+
+def _device(name: str) -> DeviceSpec:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise SystemExit(
+            f"error: unknown device {name!r}; available: "
+            f"{', '.join(DEVICES)}"
+        ) from None
+
+
+def cmd_characteristics(args) -> int:
+    ir = _load(args.spec)
+    row = characteristics(ir)
+    print(f"domain          : {'x'.join(str(d) for d in row.domain)}")
+    print(f"time iterations : {row.time_iterations}")
+    print(f"stencil order   : {row.order}")
+    print(f"FLOPs per point : {row.flops_per_point}")
+    print(f"I/O arrays      : {row.io_arrays}")
+    print(f"theoretical OI  : {row.theoretical_oi:.2f} FLOP/byte")
+    print(f"kernels         : {', '.join(k.name for k in ir.kernels)}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    ir = _load(args.spec)
+    outcome = optimize(
+        ir,
+        device=_device(args.device),
+        iterations=args.iterations,
+        top_k=args.top_k,
+    )
+    print(format_report(outcome, _device(args.device)))
+    return 0
+
+
+def cmd_cuda(args) -> int:
+    ir = _load(args.spec)
+    generated = generate_baseline(ir, device=_device(args.device))
+    print(generated.source)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    ir = _load(args.spec)
+    device = _device(args.device)
+    generated = generate_baseline(ir, device=device)
+    for plan in generated.schedule.plans:
+        report = profile(ir, plan, device)
+        verdict = classify_result(report.result, device)
+        print(f"== {plan.describe()} ==")
+        for name, value in report.metrics.items():
+            print(f"  {name:28s} {value:.4g}")
+        for level in ("dram", "tex", "shm"):
+            entry = verdict.verdict(level)
+            print(
+                f"  OI_{level:4s} = {entry.oi:8.3f}  "
+                f"(ridge {entry.ridge:.2f}) -> {entry.verdict}"
+            )
+        print(f"  bound at: {verdict.bound_level}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    print(f"{'benchmark':15s} {'domain':12s} {'T':>3s} {'k':>2s} "
+          f"{'FLOPs':>6s} {'arrays':>6s}  notes")
+    for name, spec in BENCHMARKS.items():
+        domain = "x".join(str(d) for d in spec.domain)
+        print(
+            f"{name:15s} {domain:12s} {spec.time_iterations:3d} "
+            f"{spec.order:2d} {spec.flops_per_point:6d} "
+            f"{spec.io_arrays:6d}  {spec.notes}"
+        )
+    return 0
+
+
+def cmd_deep_tune(args) -> int:
+    from .tuning import deep_tune, fusion_schedule
+
+    ir = _load(args.spec)
+    if not ir.is_iterative:
+        raise SystemExit("error: deep tuning applies to iterative stencils")
+    if len(ir.kernels) > 1:
+        from .tuning.fusion import maxfuse
+
+        ir = maxfuse(ir)
+    result = deep_tune(ir, device=_device(args.device))
+    for entry in result.entries:
+        marker = (
+            "  <-- tipping point"
+            if entry.time_tile == result.tipping_point
+            else ""
+        )
+        print(
+            f"({entry.time_tile} x 1): {entry.tflops:6.3f} TFLOPS, "
+            f"bound at {entry.bound_level}{marker}"
+        )
+    schedule = fusion_schedule(result, args.iterations)
+    print(
+        f"\nschedule for T={args.iterations}: {schedule.describe()} "
+        f"({schedule.total_time_s * 1e3:.2f} ms)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARTEMIS-reproduction stencil compiler and autotuner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, iterations_default: Optional[int] = None):
+        p.add_argument("spec", help="benchmark name or DSL file path")
+        p.add_argument(
+            "--device", default="P100", help="device model (P100, V100)"
+        )
+        return p
+
+    p = add_common(sub.add_parser(
+        "characteristics", help="Table-I characteristics of a spec"
+    ))
+    p.set_defaults(func=cmd_characteristics)
+
+    p = add_common(sub.add_parser("optimize", help="run the full flow"))
+    p.add_argument("-T", "--iterations", type=int, default=None,
+                   help="time-iteration count for iterative stencils")
+    p.add_argument("--top-k", type=int, default=4,
+                   help="stage-1 survivors carried into stage 2")
+    p.set_defaults(func=cmd_optimize)
+
+    p = add_common(sub.add_parser("cuda", help="emit the baseline CUDA"))
+    p.set_defaults(func=cmd_cuda)
+
+    p = add_common(sub.add_parser("profile", help="profile the baseline"))
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("suite", help="list the built-in benchmarks")
+    p.set_defaults(func=cmd_suite)
+
+    p = add_common(sub.add_parser(
+        "deep-tune", help="deep-tune an iterative stencil"
+    ))
+    p.add_argument("-T", "--iterations", type=int, default=12)
+    p.set_defaults(func=cmd_deep_tune)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

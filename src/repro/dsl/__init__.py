@@ -1,0 +1,73 @@
+"""The ARTEMIS stencil DSL frontend.
+
+Parses the minimal stencil language of the paper (Section II) plus the
+ARTEMIS extensions: ``#pragma`` auxiliary information, ``#assign``
+user-guided resource assignment, and the ``occupancy`` rationing clause.
+
+Typical use::
+
+    from repro.dsl import parse
+    program = parse(source_text)
+"""
+
+from .ast import (
+    AffineIndex,
+    ArrayAccess,
+    AssignDirective,
+    Assignment,
+    BinOp,
+    Call,
+    Expr,
+    LocalDecl,
+    Name,
+    Num,
+    Parameter,
+    Pragma,
+    Program,
+    StencilCall,
+    StencilDef,
+    UnaryOp,
+    VarDecl,
+    array_accesses,
+    scalar_names,
+    walk,
+)
+from .errors import DSLError, LexError, ParseError, ValidationError
+from .expr_parser import parse_expr_text
+from .parser import parse
+from .printer import format_expr, format_program, format_stencil
+from .validate import call_bindings, validate_program
+
+__all__ = [
+    "AffineIndex",
+    "ArrayAccess",
+    "AssignDirective",
+    "Assignment",
+    "BinOp",
+    "Call",
+    "DSLError",
+    "Expr",
+    "LexError",
+    "LocalDecl",
+    "Name",
+    "Num",
+    "Parameter",
+    "ParseError",
+    "Pragma",
+    "Program",
+    "StencilCall",
+    "StencilDef",
+    "UnaryOp",
+    "ValidationError",
+    "VarDecl",
+    "array_accesses",
+    "call_bindings",
+    "format_expr",
+    "format_program",
+    "format_stencil",
+    "parse",
+    "parse_expr_text",
+    "scalar_names",
+    "validate_program",
+    "walk",
+]

@@ -1,0 +1,30 @@
+"""Error types raised by the DSL frontend.
+
+Every frontend error carries a source location (line, column) so that a
+user editing a stencil specification can find the offending construct.
+"""
+
+from __future__ import annotations
+
+
+class DSLError(Exception):
+    """Base class for all DSL frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        location = f" (line {line}, col {col})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(DSLError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+
+class ParseError(DSLError):
+    """Raised when the token stream does not match the DSL grammar."""
+
+
+class ValidationError(DSLError):
+    """Raised when a syntactically valid program is semantically ill-formed."""

@@ -1,0 +1,288 @@
+"""Semantic validation of parsed DSL programs.
+
+Validation runs after parsing and enforces the semantic rules implied by
+Section II of the paper: every referenced variable resolves, array ranks
+match their declarations, subscripts only use declared iterators, stencil
+calls match their definitions, and pragma/assign directives reference
+real iterators and arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .ast import (
+    ArrayAccess,
+    Assignment,
+    LocalDecl,
+    Name,
+    Program,
+    StencilCall,
+    StencilDef,
+    VarDecl,
+    array_accesses,
+    scalar_names,
+)
+from .errors import ValidationError
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` if ``program`` is ill-formed."""
+    _check_unique_names(program)
+    _check_parameters(program)
+    _check_decl_dims(program)
+    _check_copy_lists(program)
+    for call in program.calls:
+        bindings = call_bindings(program, call)
+        stencil = program.stencil(call.name)
+        _check_stencil_body(program, stencil, bindings)
+        _check_pragma(program, stencil)
+        _check_assign(program, stencil, bindings)
+
+
+def call_bindings(program: Program, call: StencilCall) -> Dict[str, str]:
+    """Map a call's formal parameters to actual top-level variable names."""
+    try:
+        stencil = program.stencil(call.name)
+    except KeyError:
+        raise ValidationError(f"call to undefined stencil {call.name!r}") from None
+    if len(call.args) != len(stencil.params):
+        raise ValidationError(
+            f"stencil {call.name!r} takes {len(stencil.params)} argument(s), "
+            f"call passes {len(call.args)}"
+        )
+    decls = program.decl_map
+    for arg in call.args:
+        if arg not in decls:
+            raise ValidationError(
+                f"call to {call.name!r} passes undeclared variable {arg!r}"
+            )
+    return dict(zip(stencil.params, call.args))
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_unique_names(program: Program) -> None:
+    seen: Set[str] = set()
+    for kind, names in (
+        ("parameter", [p.name for p in program.parameters]),
+        ("iterator", list(program.iterators)),
+        ("variable", [d.name for d in program.decls]),
+    ):
+        for name in names:
+            if name in seen:
+                raise ValidationError(f"duplicate declaration of {name!r} ({kind})")
+            seen.add(name)
+    stencil_names: Set[str] = set()
+    for s in program.stencils:
+        if s.name in stencil_names:
+            raise ValidationError(f"duplicate stencil definition {s.name!r}")
+        stencil_names.add(s.name)
+        if len(set(s.params)) != len(s.params):
+            raise ValidationError(f"stencil {s.name!r} has duplicate parameters")
+
+
+def _check_parameters(program: Program) -> None:
+    for p in program.parameters:
+        if p.value <= 0:
+            raise ValidationError(f"parameter {p.name!r} must be positive")
+    if not program.iterators:
+        raise ValidationError("program declares no iterators")
+
+
+def _check_decl_dims(program: Program) -> None:
+    params = program.parameter_map
+    for decl in program.decls:
+        for dim in decl.dims:
+            if isinstance(dim, str):
+                if dim not in params:
+                    raise ValidationError(
+                        f"array {decl.name!r} uses undeclared parameter {dim!r}"
+                    )
+            elif dim <= 0:
+                raise ValidationError(
+                    f"array {decl.name!r} has non-positive extent {dim}"
+                )
+
+
+def _check_copy_lists(program: Program) -> None:
+    decls = program.decl_map
+    for name in list(program.copyin) + list(program.copyout):
+        if name not in decls:
+            raise ValidationError(f"copy list references undeclared {name!r}")
+    for name in program.copyout:
+        if not decls[name].is_array:
+            raise ValidationError(f"copyout of scalar {name!r}")
+
+
+def _check_stencil_body(
+    program: Program, stencil: StencilDef, bindings: Dict[str, str]
+) -> None:
+    decls = program.decl_map
+    iterators = set(program.iterators)
+
+    def actual_decl(name: str) -> Optional[VarDecl]:
+        target = bindings.get(name, name)
+        return decls.get(target)
+
+    locals_seen: Set[str] = set()
+    for stmt in stencil.body:
+        if isinstance(stmt, LocalDecl):
+            if stmt.name in locals_seen or actual_decl(stmt.name) is not None:
+                raise ValidationError(
+                    f"stencil {stencil.name!r}: local {stmt.name!r} shadows "
+                    "an existing variable"
+                )
+            _check_expr(program, stencil, stmt.init, locals_seen, bindings)
+            locals_seen.add(stmt.name)
+            continue
+        assert isinstance(stmt, Assignment)
+        _check_expr(program, stencil, stmt.rhs, locals_seen, bindings)
+        lhs = stmt.lhs
+        if isinstance(lhs, ArrayAccess):
+            decl = actual_decl(lhs.name)
+            if decl is None:
+                raise ValidationError(
+                    f"stencil {stencil.name!r} writes undeclared array {lhs.name!r}"
+                )
+            if not decl.is_array or decl.ndim != lhs.ndim:
+                raise ValidationError(
+                    f"stencil {stencil.name!r}: write to {lhs.name!r} has rank "
+                    f"{lhs.ndim}, declaration has rank {decl.ndim}"
+                )
+            used: Set[str] = set()
+            for idx in lhs.indices:
+                it = idx.single_iterator()
+                if it is None or it not in iterators:
+                    raise ValidationError(
+                        f"stencil {stencil.name!r}: write subscript {idx} of "
+                        f"{lhs.name!r} must be 'iterator + constant'"
+                    )
+                if it in used:
+                    raise ValidationError(
+                        f"stencil {stencil.name!r}: iterator {it!r} used twice "
+                        f"in write subscripts of {lhs.name!r}"
+                    )
+                used.add(it)
+        else:
+            decl = actual_decl(lhs.id)
+            if decl is not None and decl.is_array:
+                raise ValidationError(
+                    f"stencil {stencil.name!r}: array {lhs.id!r} written "
+                    "without subscripts"
+                )
+            if stmt.op == "+=" and lhs.id not in locals_seen and decl is None:
+                raise ValidationError(
+                    f"stencil {stencil.name!r}: '+=' to {lhs.id!r} before "
+                    "any assignment"
+                )
+            # Plain '=' to an unknown name introduces an implicit local
+            # scalar (double), as in the paper's Figure 3c.
+            locals_seen.add(lhs.id)
+
+
+def _check_expr(
+    program: Program,
+    stencil: StencilDef,
+    expr,
+    locals_seen: Set[str],
+    bindings: Dict[str, str],
+) -> None:
+    decls = program.decl_map
+    iterators = set(program.iterators)
+    for access in array_accesses(expr):
+        decl = decls.get(bindings.get(access.name, access.name))
+        if decl is None:
+            raise ValidationError(
+                f"stencil {stencil.name!r} reads undeclared array {access.name!r}"
+            )
+        if not decl.is_array:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: scalar {access.name!r} subscripted"
+            )
+        if decl.ndim != access.ndim:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: access {access} has rank "
+                f"{access.ndim}, declaration has rank {decl.ndim}"
+            )
+        for idx in access.indices:
+            for it_name, _ in idx.coeffs:
+                if it_name not in iterators:
+                    raise ValidationError(
+                        f"stencil {stencil.name!r}: subscript of "
+                        f"{access.name!r} uses non-iterator {it_name!r}"
+                    )
+    for name in scalar_names(expr):
+        if name in locals_seen or name in iterators:
+            continue
+        decl = decls.get(bindings.get(name, name))
+        if decl is None:
+            raise ValidationError(
+                f"stencil {stencil.name!r} reads undefined scalar {name!r}"
+            )
+        if decl.is_array:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: array {name!r} read without "
+                "subscripts"
+            )
+
+
+def _check_pragma(program: Program, stencil: StencilDef) -> None:
+    pragma = stencil.pragma
+    if pragma is None:
+        return
+    iterators = set(program.iterators)
+    if pragma.stream_dim is not None and pragma.stream_dim not in iterators:
+        raise ValidationError(
+            f"stencil {stencil.name!r}: stream dimension "
+            f"{pragma.stream_dim!r} is not a declared iterator"
+        )
+    for it_name, factor in pragma.unroll:
+        if it_name not in iterators:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: unroll iterator {it_name!r} "
+                "is not declared"
+            )
+        if factor < 1:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: unroll factor {factor} < 1"
+            )
+    for size in pragma.block:
+        if size < 1:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: block size {size} < 1"
+            )
+
+
+def _check_assign(
+    program: Program, stencil: StencilDef, bindings: Dict[str, str]
+) -> None:
+    if stencil.assign is None:
+        return
+    decls = program.decl_map
+    body_arrays: Set[str] = set()
+    for stmt in stencil.body:
+        exprs: List = []
+        if isinstance(stmt, LocalDecl):
+            exprs.append(stmt.init)
+        else:
+            exprs.append(stmt.rhs)
+            if isinstance(stmt.lhs, ArrayAccess):
+                body_arrays.add(stmt.lhs.name)
+        for expr in exprs:
+            for access in array_accesses(expr):
+                body_arrays.add(access.name)
+    for name, _storage in stencil.assign.placements:
+        if name not in body_arrays:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: #assign names {name!r} which is "
+                "not accessed in the body"
+            )
+        decl = decls.get(bindings.get(name, name))
+        if decl is not None and not decl.is_array:
+            raise ValidationError(
+                f"stencil {stencil.name!r}: #assign names scalar {name!r}"
+            )

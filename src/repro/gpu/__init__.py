@@ -1,0 +1,31 @@
+"""Simulated GPU substrate: device model, occupancy, counters, timing."""
+
+from .counters import KernelCounters, SimulationResult, TimingBreakdown
+from .device import DEVICES, DeviceSpec, P100, V100
+from .occupancy import (
+    OccupancyResult,
+    max_block_for_occupancy,
+    occupancy,
+    registers_per_block,
+)
+from .registers import compiled_registers, expression_registers, register_demand
+from .simulator import PlanInfeasible, simulate
+
+__all__ = [
+    "DEVICES",
+    "DeviceSpec",
+    "KernelCounters",
+    "OccupancyResult",
+    "P100",
+    "PlanInfeasible",
+    "SimulationResult",
+    "TimingBreakdown",
+    "V100",
+    "compiled_registers",
+    "expression_registers",
+    "max_block_for_occupancy",
+    "occupancy",
+    "register_demand",
+    "registers_per_block",
+    "simulate",
+]

@@ -1,0 +1,161 @@
+"""GPU device specifications.
+
+The paper evaluates on an NVIDIA Pascal P100 and parameterizes its
+profiling component with the device's theoretical peaks ("The user is
+expected to provide these theoretical peak values for the GPU device to
+ARTEMIS", Section IV).  The ratios the paper states for the P100 are
+reproduced exactly: double-precision peak α = 4.7 TFLOPS and ridge
+points α/β_dram = 6.42, α/β_tex = 2.35, α/β_shm = 0.49.
+
+A device specification also carries the resource limits the occupancy
+calculator and the resource-assignment algorithm need (shared memory per
+SM/block, register file size, thread caps), plus the empirically derated
+efficiency constants of the timing model (see :mod:`repro.gpu.simulator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU device for modeling purposes."""
+
+    name: str
+    sms: int
+    #: double-precision peak, GFLOP/s (the paper's α)
+    peak_gflops: float
+    #: peak bandwidths, GB/s (the paper's β_M per memory level M)
+    dram_bw_gbs: float
+    tex_bw_gbs: float
+    shm_bw_gbs: float
+    #: resource limits
+    shared_mem_per_sm: int
+    shared_mem_per_block: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    warp_size: int = 32
+    l2_cache_bytes: int = 4 * 1024 * 1024
+    dram_transaction_bytes: int = 32
+    #: register allocation granularity (registers are allocated per warp
+    #: in multiples of this many registers)
+    register_granularity: int = 256
+
+    # -- empirical derates of the timing model --------------------------------
+    # Real kernels do not reach theoretical rooflines; the paper's own
+    # Table II/Figure 4 data implies sustained efficiency well below peak
+    # (e.g. 7pt-smoother at OI_dram 0.97 measures ~0.28 TFLOPS where the
+    # naive roofline predicts 0.71).  These constants derate each roof.
+    #: occupancy at which DRAM bandwidth saturates
+    dram_saturation_occupancy: float = 0.25
+    #: occupancy at which the texture/L1 path saturates (a few warps per
+    #: SM suffice) and the fraction of peak it sustains — the SW4
+    #: kernels run near peak texture bandwidth at 12.5% occupancy
+    tex_saturation_occupancy: float = 0.08
+    tex_sustained_fraction: float = 0.92
+    #: occupancy at which the compute pipes saturate (needs more warps)
+    compute_saturation_occupancy: float = 0.5
+    #: fraction of the theoretical roofline that tuned kernels sustain
+    sustained_fraction: float = 0.62
+    #: per-__syncthreads() cost in nanoseconds per block
+    sync_cost_ns: float = 12.0
+    #: kernel launch overhead in microseconds
+    launch_overhead_us: float = 4.0
+    #: core clock (GHz) and arithmetic pipe latency, for the issue-latency
+    #: term of the timing model
+    clock_ghz: float = 1.48
+    arith_latency_cycles: float = 6.0
+    #: L2 capture of re-touches when an array is read straight from
+    #: global memory under streaming.  The paper observes (Section
+    #: VIII-F) that "streaming ... results in poor L2 locality when
+    #: shared memory is not used": the long pencil sweep keeps evicting
+    #: re-touched planes.  This constant is the fraction of the normal
+    #: L2 capture probability such reads retain; the working-set test
+    #: (vs. L2 capacity) does the rest.
+    stream_gmem_l2_capture: float = 0.65
+
+    # -- ratios ---------------------------------------------------------------
+
+    @property
+    def ridge_dram(self) -> float:
+        """α/β_dram: FLOPs per DRAM byte at the roofline ridge."""
+        return self.peak_gflops / self.dram_bw_gbs
+
+    @property
+    def ridge_tex(self) -> float:
+        return self.peak_gflops / self.tex_bw_gbs
+
+    @property
+    def ridge_shm(self) -> float:
+        return self.peak_gflops / self.shm_bw_gbs
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    def ridge(self, level: str) -> float:
+        """Ridge point α/β for a memory level in {dram, tex, shm}."""
+        return {
+            "dram": self.ridge_dram,
+            "tex": self.ridge_tex,
+            "shm": self.ridge_shm,
+        }[level]
+
+    def bandwidth(self, level: str) -> float:
+        return {
+            "dram": self.dram_bw_gbs,
+            "tex": self.tex_bw_gbs,
+            "shm": self.shm_bw_gbs,
+        }[level]
+
+    def replace(self, **changes) -> "DeviceSpec":
+        return replace(self, **changes)
+
+
+#: NVIDIA Pascal P100 (the paper's evaluation platform).  Bandwidths are
+#: derived from the ridge points the paper quotes: β_dram = 4700/6.42 ≈
+#: 732 GB/s (matching the P100's HBM2), β_tex = 4700/2.35 = 2000 GB/s,
+#: β_shm = 4700/0.49 ≈ 9592 GB/s.
+P100 = DeviceSpec(
+    name="P100",
+    sms=56,
+    peak_gflops=4700.0,
+    dram_bw_gbs=4700.0 / 6.42,
+    tex_bw_gbs=4700.0 / 2.35,
+    shm_bw_gbs=4700.0 / 0.49,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+)
+
+#: NVIDIA Volta V100 — used by the retargeting example to show the model
+#: is parametric in the device (ratios from the Volta microbenchmarking
+#: study the paper cites [41]).
+V100 = DeviceSpec(
+    name="V100",
+    sms=80,
+    peak_gflops=7800.0,
+    dram_bw_gbs=900.0,
+    tex_bw_gbs=2700.0,
+    shm_bw_gbs=13800.0,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block=96 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    l2_cache_bytes=6 * 1024 * 1024,
+)
+
+#: Registry for lookup by name (used by examples and the CLI surface).
+DEVICES: Dict[str, DeviceSpec] = {"P100": P100, "V100": V100}

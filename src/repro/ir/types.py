@@ -1,0 +1,32 @@
+"""Scalar type metadata shared across the IR, codegen and GPU model."""
+
+from __future__ import annotations
+
+#: Size in bytes of each DSL scalar type.
+DTYPE_SIZES = {
+    "double": 8,
+    "float": 4,
+    "int": 4,
+}
+
+#: NumPy dtype name for each DSL scalar type (used by the executor).
+DTYPE_NUMPY = {
+    "double": "float64",
+    "float": "float32",
+    "int": "int64",
+}
+
+#: CUDA C spelling for each DSL scalar type (used by the emitter).
+DTYPE_CUDA = {
+    "double": "double",
+    "float": "float",
+    "int": "int",
+}
+
+
+def sizeof(dtype: str) -> int:
+    """Size in bytes of a DSL scalar type."""
+    try:
+        return DTYPE_SIZES[dtype]
+    except KeyError:
+        raise ValueError(f"unknown dtype {dtype!r}") from None

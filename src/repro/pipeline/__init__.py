@@ -1,0 +1,6 @@
+"""End-to-end ARTEMIS optimization flow (Section VII)."""
+
+from .artemis import OptimizationOutcome, optimize
+from .report import format_report
+
+__all__ = ["OptimizationOutcome", "format_report", "optimize"]

@@ -1,0 +1,69 @@
+"""Human-readable optimization reports.
+
+ARTEMIS emits "some optimization hints for the user in the form of
+textual output" (Section VII); this module renders the outcome of the
+end-to-end flow, including the chosen plans, predicted performance, the
+profiling verdicts and any generated fission candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..gpu.device import DeviceSpec, P100
+from ..gpu.simulator import simulate
+from ..profiling.roofline import classify_result
+from .artemis import OptimizationOutcome
+
+
+def format_report(
+    outcome: OptimizationOutcome, device: DeviceSpec = P100
+) -> str:
+    """Render an optimization outcome as a textual report."""
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("ARTEMIS optimization report")
+    lines.append("=" * 72)
+    lines.append(f"variant chosen : {outcome.variant}")
+    lines.append(f"performance    : {outcome.tflops:.3f} TFLOPS (simulated)")
+    lines.append(f"evaluations    : {outcome.evaluations}")
+    lines.append("")
+    lines.append("launches:")
+    for plan, count in zip(outcome.schedule.plans, outcome.schedule.counts):
+        sim = simulate(outcome.ir, plan, device)
+        report = classify_result(sim, device)
+        suffix = f" x{count}" if count > 1 else ""
+        lines.append(f"  - {plan.describe()}{suffix}")
+        lines.append(
+            f"      {sim.time_ms:.3f} ms/launch, occupancy "
+            f"{sim.occupancy.occupancy:.0%}, bound at {report.bound_level}, "
+            f"OI(dram/tex/shm) = "
+            f"{sim.counters.oi('dram'):.2f}/"
+            f"{sim.counters.oi('tex'):.2f}/"
+            f"{sim.counters.oi('shm'):.2f}"
+        )
+    if outcome.hints:
+        lines.append("")
+        lines.append("hints:")
+        for hint in outcome.hints:
+            lines.append(f"  * {hint}")
+    if outcome.fission_candidates:
+        lines.append("")
+        lines.append("fission candidates written (DSL):")
+        for candidate in outcome.fission_candidates:
+            kernels = len(candidate.ir.kernels)
+            lines.append(f"  * {candidate.label}: {kernels} kernel(s)")
+    if outcome.deep_tuning is not None:
+        lines.append("")
+        lines.append("deep tuning (per fusion degree):")
+        for entry in outcome.deep_tuning.entries:
+            marker = (
+                "  <-- tipping point"
+                if entry.time_tile == outcome.deep_tuning.tipping_point
+                else ""
+            )
+            lines.append(
+                f"  ({entry.time_tile} x 1): {entry.tflops:.3f} TFLOPS, "
+                f"bound at {entry.bound_level}{marker}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Bottleneck profiling: roofline, simulated nvprof, code differencing."""
+
+from .advisor import Advice, advise
+from .differencing import DifferencingVerdict, differencing_test
+from .nvprof import METRIC_NAMES, ProfileReport, profile, profile_many
+from .roofline import (
+    AMBIGUOUS,
+    BANDWIDTH_BOUND,
+    BottleneckReport,
+    COMPUTE_BOUND,
+    LevelVerdict,
+    MEMORY_LEVELS,
+    classify,
+    classify_level,
+    classify_result,
+    oi_table,
+)
+
+__all__ = [
+    "AMBIGUOUS",
+    "Advice",
+    "BANDWIDTH_BOUND",
+    "BottleneckReport",
+    "COMPUTE_BOUND",
+    "DifferencingVerdict",
+    "LevelVerdict",
+    "MEMORY_LEVELS",
+    "METRIC_NAMES",
+    "ProfileReport",
+    "advise",
+    "classify",
+    "classify_level",
+    "classify_result",
+    "differencing_test",
+    "oi_table",
+    "profile",
+    "profile_many",
+]

@@ -1,0 +1,127 @@
+"""Roofline-model bottleneck classification (paper Section IV).
+
+For each memory level M the operational intensity ``OI_M = FLOPs /
+bytes_M`` is compared against the device ridge point ``α/β_M``:
+
+* ``OI_M ≪ α/β_M``  → bandwidth-bound at M;
+* ``OI_M ≥ α/β_M``  → compute-bound at M;
+* close to the ridge → ambiguous, resolved by code differencing;
+* bound nowhere and at low occupancy → latency-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..gpu.counters import KernelCounters, SimulationResult
+from ..gpu.device import DeviceSpec, P100
+
+MEMORY_LEVELS = ("dram", "tex", "shm")
+
+#: Band around the ridge point treated as ambiguous ("when OI_M is closer
+#: to α/β_M, categorizing the kernel ... is difficult").
+AMBIGUITY_BAND = 0.25
+
+BANDWIDTH_BOUND = "bandwidth"
+COMPUTE_BOUND = "compute"
+AMBIGUOUS = "ambiguous"
+
+#: Occupancy below which a kernel bound nowhere is called latency-bound.
+LATENCY_OCCUPANCY = 0.25
+
+
+@dataclass(frozen=True)
+class LevelVerdict:
+    """Classification of one memory level."""
+
+    level: str
+    oi: float
+    ridge: float
+    verdict: str  # bandwidth | compute | ambiguous
+
+    @property
+    def severity(self) -> float:
+        """How far below the ridge the OI sits (1 = at ridge, >1 worse)."""
+        if self.oi <= 0:
+            return float("inf")
+        return self.ridge / self.oi
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Full roofline verdict for one kernel execution."""
+
+    levels: Tuple[LevelVerdict, ...]
+    occupancy: float
+    bound_level: str  # dram | tex | shm | compute | latency
+    latency_bound: bool
+
+    def verdict(self, level: str) -> LevelVerdict:
+        for entry in self.levels:
+            if entry.level == level:
+                return entry
+        raise KeyError(level)
+
+    def bandwidth_bound_at(self, level: str) -> bool:
+        return self.verdict(level).verdict == BANDWIDTH_BOUND
+
+    def compute_bound(self) -> bool:
+        return all(v.verdict == COMPUTE_BOUND for v in self.levels)
+
+    def ambiguous_levels(self) -> Tuple[str, ...]:
+        return tuple(v.level for v in self.levels if v.verdict == AMBIGUOUS)
+
+
+def classify_level(
+    device: DeviceSpec, level: str, oi: float
+) -> LevelVerdict:
+    ridge = device.ridge(level)
+    if oi >= ridge:
+        verdict = COMPUTE_BOUND
+    elif oi >= ridge * (1.0 - AMBIGUITY_BAND):
+        verdict = AMBIGUOUS
+    else:
+        verdict = BANDWIDTH_BOUND
+    return LevelVerdict(level=level, oi=oi, ridge=ridge, verdict=verdict)
+
+
+def classify(
+    counters: KernelCounters,
+    occupancy: float,
+    device: DeviceSpec = P100,
+) -> BottleneckReport:
+    """Classify a kernel from its counters (the Section IV decision)."""
+    levels = tuple(
+        classify_level(device, level, counters.oi(level))
+        for level in MEMORY_LEVELS
+    )
+    # The binding level is the bandwidth-bound level with the worst
+    # severity; if none is bandwidth-bound the kernel is compute-bound,
+    # unless occupancy is too low to hide latency.
+    bw_levels = [v for v in levels if v.verdict == BANDWIDTH_BOUND]
+    latency = False
+    if bw_levels:
+        bound = max(bw_levels, key=lambda v: v.severity).level
+    elif occupancy < LATENCY_OCCUPANCY:
+        bound = "latency"
+        latency = True
+    else:
+        bound = "compute"
+    return BottleneckReport(
+        levels=levels,
+        occupancy=occupancy,
+        bound_level=bound,
+        latency_bound=latency,
+    )
+
+
+def classify_result(
+    result: SimulationResult, device: DeviceSpec = P100
+) -> BottleneckReport:
+    return classify(result.counters, result.occupancy.occupancy, device)
+
+
+def oi_table(counters: KernelCounters) -> Dict[str, float]:
+    """The OI row the paper's Table II reports for one version."""
+    return {level: counters.oi(level) for level in MEMORY_LEVELS}

@@ -1,0 +1,210 @@
+"""The 11-benchmark evaluation suite of the paper's Table I.
+
+Use :data:`BENCHMARKS` (ordered as in the paper) or :func:`get` /
+:func:`load_ir` to obtain specifications and IR.  Each entry carries the
+Table I characteristics for verification and the paper-reported ARTEMIS
+performance where the text states it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..dsl.parser import parse
+from ..ir.stencil import ProgramIR, build_ir
+from . import specs
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table I row plus its DSL builder."""
+
+    name: str
+    build: Callable[[], str]
+    domain: Tuple[int, int, int]
+    time_iterations: int
+    order: int
+    flops_per_point: int
+    io_arrays: int  # full-rank (3-D) arrays, as Table I counts them
+    iterative: bool
+    #: ARTEMIS TFLOPS the paper states in the text (None when only shown
+    #: as a figure bar).
+    paper_artemis_tflops: Optional[float] = None
+    notes: str = ""
+
+    def dsl(self) -> str:
+        return self.build()
+
+    def ir(self) -> ProgramIR:
+        return build_ir(parse(self.dsl()))
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchmarkSpec(
+            name="7pt-smoother",
+            build=specs.smoother_7pt,
+            domain=(512, 512, 512),
+            time_iterations=12,
+            order=1,
+            flops_per_point=10,
+            io_arrays=2,
+            iterative=True,
+            notes="HPGMG Jacobi smoother (Listing 1)",
+        ),
+        BenchmarkSpec(
+            name="27pt-smoother",
+            build=specs.smoother_27pt,
+            domain=(512, 512, 512),
+            time_iterations=12,
+            order=1,
+            flops_per_point=32,
+            io_arrays=2,
+            iterative=True,
+            notes="HPGMG 27-point box smoother; retiming is key (§VIII-G)",
+        ),
+        BenchmarkSpec(
+            name="helmholtz",
+            build=specs.helmholtz,
+            domain=(512, 512, 512),
+            time_iterations=12,
+            order=2,
+            flops_per_point=17,
+            io_arrays=2,
+            iterative=True,
+            notes="HPGMG order-2 Helmholtz smoother",
+        ),
+        BenchmarkSpec(
+            name="denoise",
+            build=specs.denoise,
+            domain=(512, 512, 512),
+            time_iterations=12,
+            order=1,
+            flops_per_point=61,
+            io_arrays=4,
+            iterative=True,
+            notes="CDSC image-processing pipeline (2-kernel DAG)",
+        ),
+        BenchmarkSpec(
+            name="miniflux",
+            build=specs.miniflux,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=2,
+            flops_per_point=135,
+            io_arrays=25,
+            iterative=False,
+            notes="loop-chain CFD benchmark [5]; two kernels (Table III)",
+        ),
+        BenchmarkSpec(
+            name="hypterm",
+            build=specs.hypterm,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=4,
+            flops_per_point=358,
+            io_arrays=13,
+            iterative=False,
+            notes="ExpCNS hyperbolic flux; DRAM-bound despite shmem (§IV)",
+        ),
+        BenchmarkSpec(
+            name="diffterm",
+            build=specs.diffterm,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=4,
+            flops_per_point=415,
+            io_arrays=11,
+            iterative=False,
+            notes="ExpCNS diffusive terms; two kernels (Table III)",
+        ),
+        BenchmarkSpec(
+            name="addsgd4",
+            build=specs.addsgd4,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=2,
+            flops_per_point=373,
+            io_arrays=10,
+            iterative=False,
+            paper_artemis_tflops=1.05,
+            notes="SW4lite dissipation; §VIII-E resource-assignment study",
+        ),
+        BenchmarkSpec(
+            name="addsgd6",
+            build=specs.addsgd6,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=3,
+            flops_per_point=626,
+            io_arrays=10,
+            iterative=False,
+            notes="SW4lite order-6 dissipation; folding profits (§VIII-G)",
+        ),
+        BenchmarkSpec(
+            name="rhs4center",
+            build=specs.rhs4center,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=2,
+            flops_per_point=666,
+            io_arrays=8,
+            iterative=False,
+            paper_artemis_tflops=1.29,
+            notes="SW4lite elastic RHS (Figure 3); manual kernel: 1.13",
+        ),
+        BenchmarkSpec(
+            name="rhs4sgcurv",
+            build=specs.rhs4sgcurv,
+            domain=(320, 320, 320),
+            time_iterations=1,
+            order=2,
+            flops_per_point=2126,
+            io_arrays=13,
+            iterative=False,
+            paper_artemis_tflops=1.048,
+            notes="SW4lite curvilinear RHS; §VIII-D fission study "
+            "(maxfuse spills: 0.48 TFLOPS)",
+        ),
+    )
+}
+
+#: Benchmark names in the paper's Table I order.
+BENCHMARK_ORDER = tuple(BENCHMARKS)
+
+#: The seven spatial (non-iterative) stencils of Table III.
+SPATIAL_BENCHMARKS = tuple(
+    name for name, spec in BENCHMARKS.items() if not spec.iterative
+)
+
+#: The four iterative stencils deep tuning applies to (§VIII-B).
+ITERATIVE_BENCHMARKS = tuple(
+    name for name, spec in BENCHMARKS.items() if spec.iterative
+)
+
+
+def get(name: str) -> BenchmarkSpec:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        ) from None
+
+
+def load_ir(name: str) -> ProgramIR:
+    """Parse and lower a benchmark by name."""
+    return get(name).ir()
+
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkSpec",
+    "ITERATIVE_BENCHMARKS",
+    "SPATIAL_BENCHMARKS",
+    "get",
+    "load_ir",
+]

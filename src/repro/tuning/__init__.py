@@ -1,0 +1,54 @@
+"""Autotuning: pruned spaces, hierarchical tuning, deep tuning, fission."""
+
+from .deeptuning import (
+    DeepTuningEntry,
+    DeepTuningResult,
+    FusionSchedule,
+    MAX_FUSION_DEGREE,
+    deep_tune,
+    fusion_schedule,
+    schedule_to_program_plan,
+)
+from .fission import (
+    FissionCandidate,
+    export_dsl,
+    generate_fission_candidates,
+    recompute_fission,
+    trivial_fission,
+)
+from .fusion import fuse_instances, maxfuse
+from .hierarchical import (
+    HierarchicalTuner,
+    Measurement,
+    TuningResult,
+    tune_kernel,
+)
+from .space import (
+    SearchSpace,
+    exhaustive_space_size,
+    seed_variants,
+)
+
+__all__ = [
+    "DeepTuningEntry",
+    "DeepTuningResult",
+    "FissionCandidate",
+    "FusionSchedule",
+    "HierarchicalTuner",
+    "MAX_FUSION_DEGREE",
+    "Measurement",
+    "SearchSpace",
+    "TuningResult",
+    "deep_tune",
+    "exhaustive_space_size",
+    "export_dsl",
+    "fuse_instances",
+    "fusion_schedule",
+    "generate_fission_candidates",
+    "maxfuse",
+    "recompute_fission",
+    "schedule_to_program_plan",
+    "seed_variants",
+    "trivial_fission",
+    "tune_kernel",
+]

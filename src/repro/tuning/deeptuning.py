@@ -1,0 +1,199 @@
+"""Deep tuning of iterative stencils for arbitrary time iterations (§VI-A).
+
+ARTEMIS generates version ``(x × 1)`` — one fused launch covering ``x``
+time steps — starting at ``x = 1``.  Each version is autotuned and then
+profiled; version ``(x+1) × 1`` is tuned *only if* version ``(x × 1)`` is
+still bandwidth-bound at DRAM, texture cache, or shared memory (fusion
+only helps bandwidth-bound kernels).  With the per-launch times ``f(x)``
+recorded, a near-optimal fusion schedule for any iteration count ``T``
+follows from the dynamic program::
+
+    opt(0) = 0
+    opt(T) = min over 1 <= x <= min(k, T) of  f(x) + opt(T - x)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen.plan import KernelPlan, ProgramPlan
+from ..codegen.resources import auto_assign, seed_plan_from_pragma
+from ..gpu.device import DeviceSpec, P100
+from ..gpu.simulator import PlanInfeasible, simulate
+from ..ir.stencil import ProgramIR
+from ..profiling.roofline import classify_result
+from .hierarchical import HierarchicalTuner, Measurement, TuningResult
+
+#: Hard cap on explored fusion degrees ("usually k <= 4 for most order-1
+#: stencils, and much smaller for high-order stencils").
+MAX_FUSION_DEGREE = 8
+
+
+@dataclass(frozen=True)
+class DeepTuningEntry:
+    """One tuned fusion degree."""
+
+    time_tile: int
+    measurement: Measurement
+    bandwidth_bound: bool
+    bound_level: str
+
+    @property
+    def time_s(self) -> float:
+        return self.measurement.time_s
+
+    @property
+    def tflops(self) -> float:
+        return self.measurement.tflops
+
+
+@dataclass(frozen=True)
+class DeepTuningResult:
+    """All tuned fusion degrees for one iterative stencil."""
+
+    entries: Tuple[DeepTuningEntry, ...]
+    evaluations: int
+
+    @property
+    def k(self) -> int:
+        """Largest tuned fusion degree."""
+        return max(e.time_tile for e in self.entries)
+
+    @property
+    def tipping_point(self) -> int:
+        """The fusion degree past which performance stops improving —
+        the pink-circled cusp of the paper's Figure 4."""
+        best = max(self.entries, key=lambda e: e.tflops)
+        return best.time_tile
+
+    def f(self, x: int) -> float:
+        """Per-launch execution time of version (x × 1)."""
+        for entry in self.entries:
+            if entry.time_tile == x:
+                return entry.time_s
+        raise KeyError(x)
+
+    def plan_for(self, x: int) -> KernelPlan:
+        for entry in self.entries:
+            if entry.time_tile == x:
+                return entry.measurement.plan
+        raise KeyError(x)
+
+
+def deep_tune(
+    ir: ProgramIR,
+    device: DeviceSpec = P100,
+    max_degree: int = MAX_FUSION_DEGREE,
+    use_register_opts: bool = True,
+    top_k: int = 4,
+) -> DeepTuningResult:
+    """Tune fusion degrees 1, 2, ... while profiling says fusion helps."""
+    if not ir.is_iterative:
+        raise ValueError("deep tuning applies to iterative stencils")
+    if len(ir.kernels) != 1:
+        raise ValueError("deep tuning expects a single smoother kernel")
+    instance = ir.kernels[0]
+    entries: List[DeepTuningEntry] = []
+    evaluations = 0
+    for degree in range(1, max_degree + 1):
+        base = seed_plan_from_pragma(ir, instance).replace(time_tile=degree)
+        base = auto_assign(ir, base, device).plan
+        tuner = HierarchicalTuner(
+            ir,
+            device=device,
+            use_register_opts=use_register_opts,
+            top_k=top_k,
+        )
+        try:
+            result = tuner.tune(base)
+        except PlanInfeasible:
+            break
+        evaluations += tuner.evaluations
+        sim = simulate(ir, result.best_plan, device)
+        report = classify_result(sim, device)
+        bandwidth = report.bound_level in ("dram", "tex", "shm")
+        entries.append(
+            DeepTuningEntry(
+                time_tile=degree,
+                measurement=result.best,
+                bandwidth_bound=bandwidth,
+                bound_level=report.bound_level,
+            )
+        )
+        # Fusion helps only bandwidth-bound versions: stop otherwise.
+        if not bandwidth:
+            break
+        # Stop when the fused version got slower per step (the cusp).
+        if degree >= 2:
+            prev = entries[-2]
+            if entries[-1].time_s / degree > prev.time_s / prev.time_tile:
+                break
+    if not entries:
+        raise PlanInfeasible("no fusion degree could be tuned")
+    return DeepTuningResult(entries=tuple(entries), evaluations=evaluations)
+
+
+# ---------------------------------------------------------------------------
+# fusion-schedule dynamic program
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusionSchedule:
+    """Optimal launch decomposition of T iterations."""
+
+    total_time_s: float
+    tiles: Tuple[int, ...]  # launch time-tile sizes, in execution order
+
+    def counts(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for tile in self.tiles:
+            out[tile] = out.get(tile, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        """Paper notation: ``(4x3 ⊕ 1x1)`` for tiles (4,4,4,1)."""
+        parts = [
+            f"{tile}x{count}" for tile, count in sorted(self.counts().items(),
+                                                        reverse=True)
+        ]
+        return " (+) ".join(parts)
+
+
+def fusion_schedule(result: DeepTuningResult, iterations: int) -> FusionSchedule:
+    """Solve opt(T) exactly via dynamic programming."""
+    if iterations < 0:
+        raise ValueError("iteration count must be non-negative")
+    k = result.k
+    best: List[float] = [0.0] + [float("inf")] * iterations
+    choice: List[int] = [0] * (iterations + 1)
+    for t in range(1, iterations + 1):
+        for x in range(1, min(k, t) + 1):
+            cost = result.f(x) + best[t - x]
+            if cost < best[t]:
+                best[t] = cost
+                choice[t] = x
+    tiles: List[int] = []
+    t = iterations
+    while t > 0:
+        tiles.append(choice[t])
+        t -= choice[t]
+    tiles.reverse()
+    return FusionSchedule(total_time_s=best[iterations], tiles=tuple(tiles))
+
+
+def schedule_to_program_plan(
+    result: DeepTuningResult, schedule: FusionSchedule
+) -> ProgramPlan:
+    """Materialize a fusion schedule as a launchable ProgramPlan."""
+    plans: List[KernelPlan] = []
+    counts: List[int] = []
+    for tile in schedule.tiles:
+        plan = result.plan_for(tile)
+        if plans and plans[-1] == plan:
+            counts[-1] += 1
+        else:
+            plans.append(plan)
+            counts.append(1)
+    return ProgramPlan(plans=tuple(plans), launch_counts=tuple(counts))

@@ -1,0 +1,279 @@
+"""Hierarchical autotuning (paper Section V).
+
+Tuning runs in steps instead of searching the full cross-product:
+
+* **Stage 1** tunes the high-impact knobs — thread block size and unroll
+  factors — with serial streaming enabled by default when shared memory
+  is used.  Unrolled versions are explored in increasing order of the
+  post-unroll statement count, and the per-thread register budget is
+  escalated (32 → 64 → 128 → 255) so only spill-free configurations are
+  measured.
+* **Stage 2** takes the top-K stage-1 candidates and layers the
+  second-tier optimizations on them: prefetching, concurrent streaming,
+  and thread-block load/compute adjustment (perspectives), plus retiming
+  and folding when the profiling advice enables register-level
+  optimizations.
+
+Users can supply their own hierarchy (a list of variant generators), as
+the paper allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..codegen.plan import (
+    KernelPlan,
+    PERSPECTIVE_MIXED,
+    STREAM_CONCURRENT,
+)
+from ..codegen.resources import InvalidPlan, validate_plan
+from ..gpu.device import DeviceSpec, P100
+from ..gpu.simulator import PlanInfeasible, simulate
+from ..ir.folding import find_fold_groups
+from ..ir.homogenize import kernel_retimable
+from ..ir.stencil import ProgramIR
+from .space import SearchSpace, seed_variants
+
+#: Stage-1 survivors carried into stage 2.
+TOP_K = 4
+
+VariantGenerator = Callable[[ProgramIR, KernelPlan], Iterable[KernelPlan]]
+
+
+def with_fold_groups(plan: KernelPlan, folds) -> KernelPlan:
+    """Attach fold groups, inheriting each member's storage placement."""
+    placements = list(plan.placements)
+    placed = {a for a, _ in placements}
+    for group in folds:
+        if group.folded_name not in placed:
+            placements.append(
+                (group.folded_name, plan.placement_of(group.members[0]))
+            )
+    return plan.replace(fold_groups=folds, placements=tuple(placements))
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One evaluated candidate."""
+
+    plan: KernelPlan
+    time_s: float
+    tflops: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a hierarchical tuning run."""
+
+    best: Measurement
+    evaluations: int
+    stage1_evaluations: int
+    trace: Tuple[Measurement, ...] = ()
+
+    @property
+    def best_plan(self) -> KernelPlan:
+        return self.best.plan
+
+
+class HierarchicalTuner:
+    """Two-stage (or user-defined) pruned autotuner."""
+
+    def __init__(
+        self,
+        ir: ProgramIR,
+        device: DeviceSpec = P100,
+        use_unrolling: bool = True,
+        use_register_opts: bool = False,
+        bandwidth_bound: bool = True,
+        top_k: int = TOP_K,
+        hierarchy: Optional[Sequence[VariantGenerator]] = None,
+        keep_trace: bool = False,
+    ):
+        self.ir = ir
+        self.device = device
+        self.use_unrolling = use_unrolling
+        self.use_register_opts = use_register_opts
+        self.bandwidth_bound = bandwidth_bound
+        self.top_k = top_k
+        self.hierarchy = hierarchy
+        self.keep_trace = keep_trace
+        self.evaluations = 0
+        self._trace: List[Measurement] = []
+
+    # -- measurement -----------------------------------------------------------
+
+    def measure(self, plan: KernelPlan) -> Optional[Measurement]:
+        """Simulate a candidate; escalate registers past spills.
+
+        Implements the paper's dynamic register increment: if the
+        configuration spills at the current ``maxrregcount``, retry at
+        the next level; configurations that spill even at 255 registers
+        are discarded (only non-spill configurations are explored).
+        """
+        for level in (32, 64, 128, 255):
+            candidate = plan.replace(max_registers=level)
+            try:
+                validate_plan(self.ir, candidate)
+                result = simulate(self.ir, candidate, self.device)
+            except (PlanInfeasible, InvalidPlan):
+                return None
+            self.evaluations += 1
+            if not result.counters.has_spills:
+                measurement = Measurement(
+                    plan=candidate,
+                    time_s=result.time_s,
+                    tflops=result.tflops,
+                )
+                if self.keep_trace:
+                    self._trace.append(measurement)
+                return measurement
+        return None
+
+    def measure_with_spills(self, plan: KernelPlan) -> Optional[Measurement]:
+        """Measure at the maximum register level even if it spills."""
+        candidate = plan.replace(max_registers=255)
+        try:
+            validate_plan(self.ir, candidate)
+            result = simulate(self.ir, candidate, self.device)
+        except (PlanInfeasible, InvalidPlan):
+            return None
+        self.evaluations += 1
+        return Measurement(
+            plan=candidate, time_s=result.time_s, tflops=result.tflops
+        )
+
+    # -- stages -----------------------------------------------------------------
+
+    def tune(self, base: KernelPlan) -> TuningResult:
+        if self.hierarchy is not None:
+            return self._tune_custom(base)
+        stage1 = self._stage1(base)
+        stage1_evals = self.evaluations
+        if not stage1:
+            # Nothing spill-free: fall back to the best spilling config.
+            fallback = self.measure_with_spills(base)
+            if fallback is None:
+                raise PlanInfeasible(
+                    f"no feasible configuration for {base.kernel_names}"
+                )
+            return TuningResult(
+                best=fallback,
+                evaluations=self.evaluations,
+                stage1_evaluations=stage1_evals,
+                trace=tuple(self._trace),
+            )
+        best = self._stage2(stage1)
+        return TuningResult(
+            best=best,
+            evaluations=self.evaluations,
+            stage1_evaluations=stage1_evals,
+            trace=tuple(self._trace),
+        )
+
+    def _stage1(self, base: KernelPlan) -> List[Measurement]:
+        space = SearchSpace(
+            ndim=self.ir.ndim,
+            streaming=base.uses_streaming,
+            bandwidth_bound=self.bandwidth_bound,
+            allow_unroll=self.use_unrolling,
+            device=self.device,
+        )
+        retimable = self._retimable(base)
+        results: List[Measurement] = []
+        for variant in seed_variants(base, space):
+            measurement = self.measure(variant)
+            if measurement is not None:
+                results.append(measurement)
+            if retimable and variant.total_unroll() == 1:
+                # Register-level optimizations change which block sizes
+                # win; explore the retimed shape of each block up front.
+                retimed = self.measure(variant.replace(retime=True))
+                if retimed is not None:
+                    results.append(retimed)
+        results.sort(key=lambda m: m.time_s)
+        return results[: self.top_k]
+
+    def _retimable(self, plan: KernelPlan) -> bool:
+        if not (self.use_register_opts and plan.uses_streaming):
+            return False
+        iterator = self.ir.iterators[plan.stream_axis]
+        return all(
+            kernel_retimable(self.ir, self.ir.kernel(name), iterator)
+            for name in plan.kernel_names
+        )
+
+    def _stage2(self, survivors: List[Measurement]) -> Measurement:
+        best = survivors[0]
+        for survivor in survivors:
+            for variant in self._stage2_variants(survivor.plan):
+                measurement = self.measure(variant)
+                if measurement is not None and measurement.time_s < best.time_s:
+                    best = measurement
+        return best
+
+    def _stage2_variants(self, plan: KernelPlan) -> Iterable[KernelPlan]:
+        yield plan.replace(prefetch=True)
+        yield plan.replace(perspective=PERSPECTIVE_MIXED)
+        yield plan.replace(prefetch=True, perspective=PERSPECTIVE_MIXED)
+        if plan.streaming == "serial":
+            for chunks in (2, 4):
+                yield plan.replace(
+                    streaming=STREAM_CONCURRENT, concurrent_chunks=chunks
+                )
+        if self.use_register_opts and plan.uses_streaming:
+            iterator = self.ir.iterators[plan.stream_axis]
+            retimable = all(
+                kernel_retimable(self.ir, self.ir.kernel(name), iterator)
+                for name in plan.kernel_names
+            )
+            if retimable:
+                yield plan.replace(retime=True)
+                yield plan.replace(retime=True, prefetch=True)
+            folds = ()
+            for name in plan.kernel_names:
+                folds = folds + find_fold_groups(self.ir.kernel(name))
+            if folds:
+                yield with_fold_groups(plan, folds)
+
+    def _tune_custom(self, base: KernelPlan) -> TuningResult:
+        """User-defined hierarchy: each level maps survivors to variants."""
+        survivors = [base]
+        best: Optional[Measurement] = None
+        stage1_evals = 0
+        for depth, generator in enumerate(self.hierarchy or ()):
+            measured: List[Measurement] = []
+            for plan in survivors:
+                for variant in generator(self.ir, plan):
+                    measurement = self.measure(variant)
+                    if measurement is not None:
+                        measured.append(measurement)
+            measured.sort(key=lambda m: m.time_s)
+            if measured:
+                survivors = [m.plan for m in measured[: self.top_k]]
+                if best is None or measured[0].time_s < best.time_s:
+                    best = measured[0]
+            if depth == 0:
+                stage1_evals = self.evaluations
+        if best is None:
+            best = self.measure_with_spills(base)
+            if best is None:
+                raise PlanInfeasible("custom hierarchy produced no candidates")
+        return TuningResult(
+            best=best,
+            evaluations=self.evaluations,
+            stage1_evaluations=stage1_evals,
+            trace=tuple(self._trace),
+        )
+
+
+def tune_kernel(
+    ir: ProgramIR,
+    base: KernelPlan,
+    device: DeviceSpec = P100,
+    **tuner_kwargs,
+) -> TuningResult:
+    """Convenience wrapper: hierarchical tuning of one kernel plan."""
+    tuner = HierarchicalTuner(ir, device=device, **tuner_kwargs)
+    return tuner.tune(base)

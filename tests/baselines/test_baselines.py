@@ -1,0 +1,104 @@
+"""Tests for the comparison code generators (Section VIII-F)."""
+
+import pytest
+
+from repro.baselines import (
+    UnsupportedProgram,
+    check_supported,
+    guard_overhead,
+    run_global,
+    run_global_stream,
+    run_ppcg,
+    run_stencilgen,
+)
+from repro.suite import load_ir
+
+
+@pytest.fixture(scope="module")
+def jacobi_ir():
+    return load_ir("7pt-smoother")
+
+
+class TestNaiveBaselines:
+    def test_global_runs(self, jacobi_ir):
+        result = run_global(jacobi_ir)
+        assert result.supported and result.tflops > 0
+        assert all(
+            p.streaming == "none" for p in result.schedule.plans
+        )
+
+    def test_global_stream_runs(self, jacobi_ir):
+        result = run_global_stream(jacobi_ir)
+        assert result.supported and result.tflops > 0
+        assert all(p.streaming == "serial" for p in result.schedule.plans)
+
+    def test_stream_loses_to_tiled(self, jacobi_ir):
+        """§VIII-F: 'the global-stream version incurs much higher DRAM
+        transactions ... than global'."""
+        stream = run_global_stream(jacobi_ir)
+        tiled = run_global(jacobi_ir)
+        assert stream.tflops < tiled.tflops
+
+    def test_no_shared_memory_used(self, jacobi_ir):
+        for runner in (run_global, run_global_stream):
+            result = runner(jacobi_ir)
+            for plan in result.schedule.plans:
+                assert not any(s == "shmem" for _, s in plan.placements)
+
+
+class TestPpcg:
+    def test_runs(self, jacobi_ir):
+        result = run_ppcg(jacobi_ir)
+        assert result.supported and result.tflops > 0
+
+    def test_guard_overhead_grows_with_statements(self):
+        small = guard_overhead(load_ir("7pt-smoother"))
+        large = guard_overhead(load_ir("rhs4sgcurv"))
+        assert large > small
+
+    def test_loses_to_tuned_global(self, jacobi_ir):
+        """Figure 5: PPCG is outperformed by the tuned global versions."""
+        assert run_ppcg(jacobi_ir).tflops < run_global(jacobi_ir).tflops * 1.5
+
+
+class TestStencilgen:
+    def test_supports_uniform_rank(self, jacobi_ir):
+        check_supported(jacobi_ir)
+        result = run_stencilgen(jacobi_ir)
+        assert result.supported and result.tflops > 0
+
+    def test_rejects_sw4_mixed_ranks(self):
+        ir = load_ir("addsgd4")
+        with pytest.raises(UnsupportedProgram):
+            check_supported(ir)
+        result = run_stencilgen(ir)
+        assert not result.supported
+        assert "different dimensions" in result.reason
+
+    def test_buffers_everything(self, jacobi_ir):
+        result = run_stencilgen(jacobi_ir)
+        for plan in result.schedule.plans:
+            read = set()
+            for name in plan.kernel_names:
+                read.update(jacobi_ir.kernel(name).arrays_read())
+            placed = {a for a, s in plan.placements if s == "shmem"}
+            full_rank = {
+                a
+                for a in read
+                if jacobi_ir.array_map[a].ndim == jacobi_ir.ndim
+            }
+            assert full_rank <= placed
+
+    def test_no_artemis_specific_opts(self, jacobi_ir):
+        result = run_stencilgen(jacobi_ir)
+        for plan in result.schedule.plans:
+            assert not plan.prefetch
+            assert plan.total_unroll() == 1
+            assert plan.perspective == "output"
+            assert plan.streaming == "serial"
+
+    def test_beats_global_baselines(self, jacobi_ir):
+        """Figure 5: STENCILGEN above the global versions everywhere
+        it can generate code."""
+        sg = run_stencilgen(jacobi_ir)
+        assert sg.tflops > run_global(jacobi_ir).tflops

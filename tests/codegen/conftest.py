@@ -1,0 +1,47 @@
+"""Shared fixtures for codegen tests."""
+
+import pytest
+
+from repro.dsl import parse
+from repro.ir import build_ir
+
+JACOBI_SRC = """
+parameter L=512, M=512, N=512;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin in, h2inv, a, b;
+iterate 12;
+#pragma stream k block (32,16) unroll j=2
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1] + A[k][j][i-1]
+    + A[k][j+1][i] + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i]
+    - A[k][j][i]*6.0);
+}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+"""
+
+BOX_SRC = """
+parameter L=256, M=256, N=256;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], w;
+copyin in, w;
+iterate 12;
+stencil box (B, A, w) {
+  B[k][j][i] = w * (A[k][j][i] + A[k-1][j-1][i] + A[k+1][j+1][i]
+    + A[k][j][i+1] + A[k][j][i-1]);
+}
+box (out, in, w);
+copyout out;
+"""
+
+
+@pytest.fixture
+def jacobi_ir():
+    return build_ir(parse(JACOBI_SRC))
+
+
+@pytest.fixture
+def box_ir():
+    return build_ir(parse(BOX_SRC))

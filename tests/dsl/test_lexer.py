@@ -1,0 +1,99 @@
+"""Unit tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.dsl import LexError
+from repro.dsl.lexer import DIRECTIVE, EOF, FLOAT, ID, INT, PUNCT, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert values("abc _x x1 B2c") == ["abc", "_x", "x1", "B2c"]
+
+    def test_integer_literal(self):
+        toks = tokenize("512")
+        assert toks[0].kind == INT and toks[0].value == "512"
+
+    def test_float_literals(self):
+        for text in ["6.0", "0.25", ".5", "1e-3", "2.5e+10", "1E6"]:
+            toks = tokenize(text)
+            assert toks[0].kind == FLOAT, text
+
+    def test_float_with_f_suffix(self):
+        toks = tokenize("1.5f")
+        assert toks[0].kind == FLOAT and toks[0].value == "1.5"
+        assert toks[1].kind == EOF
+
+    def test_int_then_dot_field_not_supported_as_two_tokens(self):
+        # "1.0" is one FLOAT, not INT '.' INT.
+        toks = tokenize("1.0")
+        assert [t.kind for t in toks] == [FLOAT, EOF]
+
+    def test_punctuation(self):
+        assert values("( ) [ ] { } , ; = + - * /") == list("()[]{},;=+-*/")
+
+    def test_two_char_operators(self):
+        assert values("+= == <= >=") == ["+=", "==", "<=", ">="]
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] == EOF
+        assert kinds("x")[-1] == EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestDirectives:
+    def test_pragma_single_token(self):
+        toks = tokenize("#pragma stream k block (32,16)\nx = 1;")
+        assert toks[0].kind == DIRECTIVE
+        assert toks[0].value == "#pragma stream k block (32,16)"
+        assert toks[1].value == "x"
+
+    def test_assign_directive(self):
+        toks = tokenize("#assign shmem (u0,u1)")
+        assert toks[0].kind == DIRECTIVE
+        assert "shmem" in toks[0].value
+
+    def test_directive_stops_at_newline(self):
+        toks = tokenize("#pragma stream k\ny")
+        assert toks[0].value == "#pragma stream k"
+        assert toks[1].value == "y"
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_stripped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_comment_preserves_line_numbers(self):
+        toks = tokenize("a /* one\ntwo */ b")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_lex_error_has_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("x\n  $")
+        assert exc.value.line == 2

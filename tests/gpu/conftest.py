@@ -1,0 +1,34 @@
+"""Shared programs for GPU-substrate tests."""
+
+import pytest
+
+from repro.dsl import parse
+from repro.ir import build_ir
+
+JACOBI_TMPL = """
+parameter L={n}, M={n}, N={n};
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin in, h2inv, a, b;
+iterate 12;
+stencil jacobi (B, A, h2inv, a, b) {{
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1] + A[k][j][i-1]
+    + A[k][j+1][i] + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i]
+    - A[k][j][i]*6.0);
+}}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+"""
+
+
+@pytest.fixture
+def jacobi_ir():
+    """Full-size jacobi (512^3) for counter-model tests."""
+    return build_ir(parse(JACOBI_TMPL.format(n=512)))
+
+
+@pytest.fixture
+def jacobi_small_ir():
+    """Small jacobi (24^3) for functional-executor tests."""
+    return build_ir(parse(JACOBI_TMPL.format(n=24)))

@@ -1,0 +1,114 @@
+"""Property-style invariants of the counter model."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.dsl import parse
+from repro.gpu import P100, simulate
+from repro.ir import build_ir
+
+
+def _ir(size):
+    return build_ir(parse(f"""
+    parameter L={size}, M={size}, N={size};
+    iterator k, j, i;
+    double in[L,M,N], out[L,M,N], a;
+    copyin in, a;
+    stencil s (B, A, a) {{
+      B[k][j][i] = a * (A[k][j][i+1] + A[k][j][i-1] + A[k+1][j][i]
+        + A[k-1][j][i] + A[k][j+1][i] + A[k][j-1][i]);
+    }}
+    s (out, in, a);
+    copyout out;
+    """))
+
+
+def _plan(**kw):
+    base = dict(
+        kernel_names=("s.0",),
+        block=(16, 16),
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+    base.update(kw)
+    return KernelPlan(**base)
+
+
+class TestScaling:
+    def test_counters_scale_with_domain(self):
+        small = simulate(_ir(128), _plan())
+        large = simulate(_ir(256), _plan())
+        ratio = large.counters.useful_flops / small.counters.useful_flops
+        assert ratio == pytest.approx(8.0)
+        assert large.counters.dram_write_bytes == pytest.approx(
+            8 * small.counters.dram_write_bytes
+        )
+
+    def test_throughput_stabilizes_at_scale(self):
+        # Small grids underutilize the device (too few blocks for the
+        # resident capacity); once the grid saturates it, throughput is
+        # size-independent.
+        small = simulate(_ir(128), _plan())
+        mid = simulate(_ir(384), _plan())
+        big = simulate(_ir(512), _plan())
+        assert small.tflops < mid.tflops  # starvation at small sizes
+        assert big.tflops == pytest.approx(mid.tflops, rel=0.05)
+
+    def test_bigger_tiles_reduce_halo_overhead(self):
+        ir = _ir(256)
+        small = simulate(ir, _plan(block=(8, 8)))
+        large = simulate(ir, _plan(block=(32, 32)))
+        small_redundancy = small.counters.flops / small.counters.useful_flops
+        large_redundancy = large.counters.flops / large.counters.useful_flops
+        assert large_redundancy <= small_redundancy
+
+    def test_time_is_positive_and_finite(self):
+        result = simulate(_ir(128), _plan())
+        assert 0 < result.time_s < 10
+
+
+class TestConservation:
+    def test_dram_never_below_unique_compulsory(self):
+        ir = _ir(256)
+        result = simulate(ir, _plan())
+        compulsory = 2 * 256**3 * 8  # read in once, write out once
+        assert result.counters.dram_bytes >= compulsory * 0.99
+
+    def test_buffering_trades_tex_for_shm(self):
+        ir = _ir(256)
+        buffered = simulate(ir, _plan())
+        direct = simulate(ir, _plan(placements=()))
+        assert buffered.counters.tex_bytes < direct.counters.tex_bytes
+        assert buffered.counters.shm_bytes > direct.counters.shm_bytes
+
+    def test_oi_definitions(self):
+        result = simulate(_ir(128), _plan())
+        counters = result.counters
+        assert counters.oi("dram") == pytest.approx(
+            counters.flops / counters.dram_bytes
+        )
+        assert counters.oi("tex") == pytest.approx(
+            counters.flops / counters.tex_bytes
+        )
+
+
+class TestTimingComposition:
+    def test_total_at_least_max_component(self):
+        result = simulate(_ir(256), _plan())
+        timing = result.timing
+        assert timing.total_s >= max(
+            timing.compute_s, timing.dram_s, timing.tex_s, timing.shm_s
+        )
+
+    def test_bound_resource_is_argmax(self):
+        result = simulate(_ir(256), _plan())
+        timing = result.timing
+        values = {
+            "compute": timing.compute_s,
+            "dram": timing.dram_s,
+            "tex": timing.tex_s,
+            "shm": timing.shm_s,
+            "latency": timing.latency_s,
+        }
+        assert values[timing.bound_resource] == max(values.values())

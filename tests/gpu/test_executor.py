@@ -1,0 +1,223 @@
+"""Functional-executor tests: plans must match the reference bitwise."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.plan import KernelPlan, ProgramPlan
+from repro.dsl import parse
+from repro.ir import build_ir, find_fold_groups
+from repro.gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    execute_plan,
+    execute_program_plan,
+    execute_reference,
+    interior_region,
+    program_pingpong,
+    run_kernel,
+)
+
+
+@pytest.fixture
+def jac(jacobi_small_ir):
+    ir = jacobi_small_ir
+    return ir, allocate_inputs(ir), default_scalars(ir)
+
+
+class TestReference:
+    def test_boundary_carries_input(self, jac):
+        ir, inputs, scalars = jac
+        out = execute_reference(ir, inputs, scalars, time_iterations=1)["out"]
+        # Boundary-carry: non-interior points copy the input.
+        assert np.array_equal(out[0, :, :], inputs["in"][0, :, :])
+        assert np.array_equal(out[:, :, -1], inputs["in"][:, :, -1])
+
+    def test_interior_updated(self, jac):
+        ir, inputs, scalars = jac
+        out = execute_reference(ir, inputs, scalars, time_iterations=1)["out"]
+        assert not np.array_equal(out[1:-1, 1:-1, 1:-1],
+                                  inputs["in"][1:-1, 1:-1, 1:-1])
+
+    def test_matches_manual_jacobi(self, jac):
+        ir, inputs, scalars = jac
+        out = execute_reference(ir, inputs, scalars, time_iterations=1)["out"]
+        A = inputs["in"]
+        a, b, h2inv = scalars["a"], scalars["b"], scalars["h2inv"]
+        c = b * h2inv
+        manual = a * A[1:-1, 1:-1, 1:-1] - c * (
+            A[1:-1, 1:-1, 2:]
+            + A[1:-1, 1:-1, :-2]
+            + A[1:-1, 2:, 1:-1]
+            + A[1:-1, :-2, 1:-1]
+            + A[2:, 1:-1, 1:-1]
+            + A[:-2, 1:-1, 1:-1]
+            - A[1:-1, 1:-1, 1:-1] * 6.0
+        )
+        assert np.allclose(out[1:-1, 1:-1, 1:-1], manual, rtol=1e-14)
+
+    def test_iteration_changes_result(self, jac):
+        ir, inputs, scalars = jac
+        one = execute_reference(ir, inputs, scalars, time_iterations=1)["out"]
+        two = execute_reference(ir, inputs, scalars, time_iterations=2)["out"]
+        assert not np.array_equal(one, two)
+
+    def test_inputs_not_mutated(self, jac):
+        ir, inputs, scalars = jac
+        snapshot = {k: v.copy() for k, v in inputs.items()}
+        execute_reference(ir, inputs, scalars, time_iterations=3)
+        for name, value in snapshot.items():
+            assert np.array_equal(inputs[name], value)
+
+    def test_pingpong_pair(self, jac):
+        ir, _, _ = jac
+        assert program_pingpong(ir) == ("out", "in")
+
+
+class TestPlanMatchesReference:
+    def _check(self, ir, plan, inputs, scalars, steps):
+        ref = execute_reference(ir, inputs, scalars, time_iterations=steps)
+        got = execute_plan(ir, plan, inputs, scalars)
+        assert np.array_equal(ref["out"], got["out"])
+
+    def test_single_step(self, jac):
+        ir, inputs, scalars = jac
+        plan = KernelPlan(kernel_names=("jacobi.0",), block=(8, 8),
+                          streaming="serial", stream_axis=0)
+        self._check(ir, plan, inputs, scalars, 1)
+
+    @pytest.mark.parametrize("time_tile", [2, 3, 4])
+    def test_time_tiled(self, jac, time_tile):
+        ir, inputs, scalars = jac
+        plan = KernelPlan(kernel_names=("jacobi.0",), block=(8, 8),
+                          streaming="serial", stream_axis=0,
+                          time_tile=time_tile)
+        self._check(ir, plan, inputs, scalars, time_tile)
+
+    @pytest.mark.parametrize("block", [(4, 4), (8, 4), (16, 16), (5, 7)])
+    def test_block_shapes(self, jac, block):
+        ir, inputs, scalars = jac
+        plan = KernelPlan(kernel_names=("jacobi.0",), block=block,
+                          streaming="serial", stream_axis=0, time_tile=2)
+        self._check(ir, plan, inputs, scalars, 2)
+
+    def test_non_streaming_3d_tiles(self, jac):
+        ir, inputs, scalars = jac
+        plan = KernelPlan(kernel_names=("jacobi.0",), block=(4, 8, 8),
+                          streaming="none", time_tile=2)
+        self._check(ir, plan, inputs, scalars, 2)
+
+    def test_unroll_does_not_change_semantics(self, jac):
+        # Unroll only redistributes work across threads; tile extents grow.
+        ir, inputs, scalars = jac
+        plan = KernelPlan(kernel_names=("jacobi.0",), block=(4, 4),
+                          streaming="serial", stream_axis=0,
+                          unroll=(1, 2, 2), time_tile=2)
+        self._check(ir, plan, inputs, scalars, 2)
+
+
+class TestSchedules:
+    def test_various_splits_agree(self, jac):
+        ir, inputs, scalars = jac
+        base = KernelPlan(kernel_names=("jacobi.0",), block=(8, 8),
+                          streaming="serial", stream_axis=0)
+        ref = execute_reference(ir, inputs, scalars, time_iterations=5)
+        for split in [(1, 1, 1, 1, 1), (2, 3), (3, 2), (4, 1), (5,)]:
+            plans = tuple(base.replace(time_tile=t) for t in split)
+            sched = ProgramPlan(plans=plans)
+            got = execute_program_plan(ir, sched, inputs, scalars)
+            assert np.array_equal(ref["out"], got["out"]), split
+
+    def test_launch_counts(self, jac):
+        ir, inputs, scalars = jac
+        base = KernelPlan(kernel_names=("jacobi.0",), block=(8, 8),
+                          streaming="serial", stream_axis=0, time_tile=2)
+        sched = ProgramPlan(plans=(base,), launch_counts=(3,))
+        ref = execute_reference(ir, inputs, scalars, time_iterations=6)
+        got = execute_program_plan(ir, sched, inputs, scalars)
+        assert np.array_equal(ref["out"], got["out"])
+
+
+DAG_SRC = """
+parameter N=20;
+iterator k, j, i;
+double a[N,N,N], b[N,N,N], c[N,N,N], w;
+copyin a, w;
+stencil blur (out, inp, w) {
+  out[k][j][i] = w * (inp[k][j][i+1] + inp[k][j][i-1] + inp[k][j+1][i]);
+}
+stencil sharpen (out, inp) {
+  out[k][j][i] = 2.0*inp[k][j][i] - 0.5*(inp[k+1][j][i] + inp[k-1][j][i]);
+}
+blur (b, a, w);
+sharpen (c, b);
+copyout c;
+"""
+
+
+class TestDagFusion:
+    def test_fused_matches_reference(self):
+        ir = build_ir(parse(DAG_SRC))
+        inputs = allocate_inputs(ir)
+        scalars = default_scalars(ir)
+        ref = execute_reference(ir, inputs, scalars)
+        plan = KernelPlan(kernel_names=("blur.0", "sharpen.0"), block=(4, 8),
+                          streaming="serial", stream_axis=0)
+        got = execute_plan(ir, plan, inputs, scalars)
+        assert np.array_equal(ref["c"], got["c"])
+
+    def test_unfused_matches_reference(self):
+        ir = build_ir(parse(DAG_SRC))
+        inputs = allocate_inputs(ir)
+        scalars = default_scalars(ir)
+        ref = execute_reference(ir, inputs, scalars)
+        sched = ProgramPlan(
+            plans=(
+                KernelPlan(kernel_names=("blur.0",), block=(8, 8)),
+                KernelPlan(kernel_names=("sharpen.0",), block=(8, 8)),
+            )
+        )
+        got = execute_program_plan(ir, sched, inputs, scalars)
+        assert np.array_equal(ref["c"], got["c"])
+
+
+FOLD_SRC = """
+parameter N=16;
+iterator k, j, i;
+double A[N,N,N], B[N,N,N], mu[N,N,N], la[N,N,N];
+copyin A, mu, la;
+stencil s (B, A, mu, la) {
+  B[k][j][i] = mu[k][j][i+1]*la[k][j][i+1] + mu[k][j][i-1]*la[k][j][i-1]
+    + A[k][j][i];
+}
+s (B, A, mu, la);
+copyout B;
+"""
+
+
+class TestFoldingSemantics:
+    def test_folded_plan_matches_reference(self):
+        ir = build_ir(parse(FOLD_SRC))
+        inputs = allocate_inputs(ir)
+        scalars = default_scalars(ir)
+        ref = execute_reference(ir, inputs, scalars)
+        groups = find_fold_groups(ir.kernels[0])
+        assert groups
+        plan = KernelPlan(kernel_names=("s.0",), block=(8, 8),
+                          streaming="serial", stream_axis=0,
+                          fold_groups=groups)
+        got = execute_plan(ir, plan, inputs, scalars)
+        assert np.allclose(ref["B"], got["B"], rtol=1e-14)
+
+
+class TestRunKernelRegions:
+    def test_interior_region(self, jac):
+        ir, _, _ = jac
+        region = interior_region(ir, ir.kernels[0], (24, 24, 24))
+        assert region == ((1, 23), (1, 23), (1, 23))
+
+    def test_empty_region_is_noop(self, jac):
+        ir, inputs, scalars = jac
+        arrays = {k: v.copy() for k, v in inputs.items()}
+        run_kernel(ir, ir.kernels[0], arrays, scalars,
+                   region=((5, 5), (1, 23), (1, 23)))
+        assert np.array_equal(arrays["out"], inputs["out"])

@@ -1,0 +1,122 @@
+"""Tests for the occupancy calculator."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.gpu import P100, V100, max_block_for_occupancy, occupancy
+from repro.gpu.occupancy import registers_per_block
+
+
+class TestBasicOccupancy:
+    def test_full_occupancy(self):
+        result = occupancy(P100, 256, 32, 0)
+        assert result.occupancy == 1.0
+        assert result.blocks_per_sm == 8
+
+    def test_register_limited(self):
+        # 128 regs/thread: 65536/(128*256-per-block...) -> few blocks.
+        result = occupancy(P100, 256, 128, 0)
+        assert result.limiter == "registers"
+        assert result.occupancy == pytest.approx(0.25)
+
+    def test_255_regs_very_low_occupancy(self):
+        result = occupancy(P100, 256, 255, 0)
+        assert result.occupancy <= 0.125
+        assert result.limiter == "registers"
+
+    def test_shmem_limited(self):
+        result = occupancy(P100, 128, 32, 40 * 1024)
+        assert result.limiter == "shmem"
+        assert result.blocks_per_sm == 1
+
+    def test_thread_limited(self):
+        result = occupancy(P100, 1024, 32, 0)
+        assert result.blocks_per_sm == 2
+        assert result.occupancy == 1.0
+
+    def test_block_slot_limited(self):
+        result = occupancy(P100, 32, 16, 0)
+        assert result.blocks_per_sm == 32
+        assert result.limiter == "blocks"
+        assert result.occupancy == 0.5  # 32 blocks * 1 warp / 64 warps
+
+    def test_occupancy_monotone_in_registers(self):
+        prev = 2.0
+        for regs in (32, 64, 128, 255):
+            occ = occupancy(P100, 256, regs, 0).occupancy
+            assert occ <= prev
+            prev = occ
+
+    def test_occupancy_monotone_in_shmem(self):
+        prev = 2.0
+        for shm in (0, 8 * 1024, 16 * 1024, 32 * 1024, 48 * 1024):
+            occ = occupancy(P100, 128, 32, shm).occupancy
+            assert occ <= prev
+            prev = occ
+
+
+class TestErrors:
+    def test_block_too_large(self):
+        with pytest.raises(ValueError):
+            occupancy(P100, 2048, 32, 0)
+
+    def test_shmem_over_block_limit(self):
+        with pytest.raises(ValueError):
+            occupancy(P100, 128, 32, 49 * 1024)
+
+    def test_too_many_registers(self):
+        with pytest.raises(ValueError):
+            occupancy(P100, 128, 300, 0)
+
+    def test_zero_threads(self):
+        with pytest.raises(ValueError):
+            occupancy(P100, 0, 32, 0)
+
+
+class TestRegistersPerBlock:
+    def test_warp_granularity(self):
+        # 33 threads -> 2 warps; 32 regs * 32 lanes = 1024 regs/warp.
+        assert registers_per_block(P100, 33, 32) == 2 * 1024
+
+    def test_granularity_rounding(self):
+        # 10 regs * 32 = 320 -> rounded to 512 (granularity 256).
+        assert registers_per_block(P100, 32, 10) == 512
+
+
+class TestTargetOccupancy:
+    def test_reachable_target(self):
+        block = max_block_for_occupancy(P100, 0.5, 32, 0)
+        assert block >= 256
+
+    def test_unreachable_target(self):
+        # With 255 regs/thread, 50% occupancy is impossible on P100.
+        assert max_block_for_occupancy(P100, 0.5, 255, 0) == 0
+
+    def test_v100_more_shmem(self):
+        result = occupancy(V100, 128, 32, 60 * 1024)
+        assert result.blocks_per_sm >= 1
+
+
+@given(
+    threads=st.sampled_from([32, 64, 128, 256, 512, 1024]),
+    regs=st.integers(min_value=16, max_value=255),
+    shm=st.integers(min_value=0, max_value=48 * 1024),
+)
+@settings(max_examples=200, deadline=None)
+def test_occupancy_invariants(threads, regs, shm):
+    try:
+        result = occupancy(P100, threads, regs, shm)
+    except ValueError:
+        # Legitimately infeasible: a single block exceeds SM registers.
+        assert registers_per_block(P100, threads, regs) > P100.registers_per_sm
+        return
+    assert 0 < result.occupancy <= 1.0
+    assert result.blocks_per_sm >= 1
+    assert result.active_warps <= P100.max_warps_per_sm
+    # Resources actually fit.
+    assert result.blocks_per_sm * shm <= P100.shared_mem_per_sm or shm == 0
+    assert (
+        result.blocks_per_sm * registers_per_block(P100, threads, regs)
+        <= P100.registers_per_sm
+    )

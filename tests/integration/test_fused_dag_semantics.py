@@ -1,0 +1,92 @@
+"""Fused-DAG semantics: IR-level maxfuse must preserve results.
+
+miniflux's two kernels (15 intermediate flux arrays!) and denoise's
+coefficient/update pair are fused with :func:`maxfuse` and executed as
+single launches; the intra-kernel producer->consumer chains (with their
+recompute halos) must still match the unfused reference bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.dsl import parse
+from repro.gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    execute_plan,
+    execute_reference,
+)
+from repro.ir import build_ir
+from repro.suite import get
+from repro.tuning import maxfuse
+
+
+def _small(name, size):
+    spec = get(name)
+    text = spec.dsl()
+    for token in ("W=320", "=512"):
+        if token in text:
+            replacement = f"W={size}" if token == "W=320" else f"={size}"
+            text = text.replace(token, replacement)
+    return build_ir(parse(text))
+
+
+class TestMinifluxFused:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ir = _small("miniflux", 14)
+        fused = maxfuse(ir)
+        assert len(fused.kernels) == 1
+        inputs = allocate_inputs(ir)
+        scalars = {k: v * 0.1 for k, v in default_scalars(ir).items()}
+        reference = execute_reference(ir, inputs, scalars)
+        return ir, fused, inputs, scalars, reference
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(block=(4, 4), streaming="serial", stream_axis=0),
+            dict(block=(4, 4, 4), streaming="none"),
+        ],
+    )
+    def test_fused_plan_matches_unfused_reference(self, setup, kw):
+        ir, fused, inputs, scalars, reference = setup
+        plan = KernelPlan(kernel_names=(fused.kernels[0].name,), **kw)
+        got = execute_plan(fused, plan, inputs, scalars)
+        for m in range(5):
+            assert np.array_equal(reference[f"out{m}"], got[f"out{m}"]), kw
+
+    def test_fused_reference_matches_unfused(self, setup):
+        ir, fused, inputs, scalars, reference = setup
+        fused_reference = execute_reference(fused, inputs, scalars)
+        for m in range(5):
+            assert np.array_equal(
+                reference[f"out{m}"], fused_reference[f"out{m}"]
+            )
+
+
+class TestDenoiseFusedTimeTiled:
+    def test_fused_time_tiled_matches(self):
+        ir = _small("denoise", 16)
+        fused = maxfuse(ir)
+        assert len(fused.kernels) == 1
+        inputs = allocate_inputs(ir)
+        scalars = {k: v * 0.1 for k, v in default_scalars(ir).items()}
+        reference = execute_reference(ir, inputs, scalars,
+                                      time_iterations=3)
+        plan = KernelPlan(
+            kernel_names=(fused.kernels[0].name,),
+            block=(4, 4),
+            streaming="serial",
+            stream_axis=0,
+            time_tile=3,
+        )
+        got = execute_plan(fused, plan, inputs, scalars)
+        assert np.array_equal(reference["uout"], got["uout"])
+
+    def test_fused_pingpong_pair(self):
+        from repro.codegen.tiling import pingpong_pair
+
+        fused = maxfuse(_small("denoise", 16))
+        assert pingpong_pair(fused, fused.kernels[0]) == ("uout", "uin")

@@ -1,0 +1,116 @@
+"""Generality checks: 2-D domains, single precision, full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import build_ir, optimize, parse, simulate
+from repro.codegen import KernelPlan, emit_cuda
+from repro.gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    execute_plan,
+    execute_reference,
+)
+
+SRC_2D = """
+parameter M=64, N=64;
+iterator j, i;
+double in[M,N], out[M,N], w;
+copyin in, w;
+iterate 4;
+stencil blur (B, A, w) {
+  B[j][i] = w * (A[j][i+1] + A[j][i-1] + A[j+1][i] + A[j-1][i]);
+}
+blur (out, in, w);
+copyout out;
+"""
+
+
+class Test2D:
+    @pytest.fixture
+    def ir(self):
+        return build_ir(parse(SRC_2D))
+
+    def test_plan_matches_reference(self, ir):
+        plan = KernelPlan(
+            kernel_names=("blur.0",),
+            block=(16,),
+            streaming="serial",
+            stream_axis=0,
+            time_tile=2,
+        )
+        inputs = allocate_inputs(ir)
+        scalars = default_scalars(ir)
+        reference = execute_reference(ir, inputs, scalars, time_iterations=2)
+        got = execute_plan(ir, plan, inputs, scalars)
+        assert np.array_equal(reference["out"], got["out"])
+
+    def test_non_streaming_2d(self, ir):
+        plan = KernelPlan(
+            kernel_names=("blur.0",), block=(8, 8), streaming="none"
+        )
+        inputs = allocate_inputs(ir)
+        scalars = default_scalars(ir)
+        reference = execute_reference(ir, inputs, scalars, time_iterations=1)
+        got = execute_plan(ir, plan, inputs, scalars)
+        assert np.array_equal(reference["out"], got["out"])
+
+    def test_simulates_and_emits(self, ir):
+        plan = KernelPlan(
+            kernel_names=("blur.0",),
+            block=(16,),
+            streaming="serial",
+            stream_axis=0,
+        )
+        result = simulate(ir, plan)
+        assert result.time_s > 0
+        source = emit_cuda(ir, plan).source
+        assert source.count("{") == source.count("}")
+        assert "__global__" in source
+
+    def test_full_pipeline(self, ir):
+        outcome = optimize(ir, top_k=1)
+        assert outcome.tflops > 0
+        assert outcome.schedule.total_time_steps() == 4
+
+
+class TestSinglePrecision:
+    @pytest.fixture
+    def ir(self):
+        return build_ir(parse(SRC_2D.replace("double", "float")))
+
+    def test_inputs_are_float32(self, ir):
+        inputs = allocate_inputs(ir)
+        assert inputs["in"].dtype == np.float32
+
+    def test_reference_stays_float32(self, ir):
+        inputs = allocate_inputs(ir)
+        result = execute_reference(
+            ir, inputs, default_scalars(ir), time_iterations=1
+        )
+        assert result["out"].dtype == np.float32
+        assert np.isfinite(result["out"]).all()
+
+    def test_element_size_halves_traffic(self, ir):
+        double_ir = build_ir(parse(SRC_2D))
+        plan = KernelPlan(
+            kernel_names=("blur.0",),
+            block=(16,),
+            streaming="serial",
+            stream_axis=0,
+        )
+        single = simulate(ir, plan)
+        double = simulate(double_ir, plan)
+        assert single.counters.dram_write_bytes == pytest.approx(
+            double.counters.dram_write_bytes / 2
+        )
+
+    def test_cuda_uses_float(self, ir):
+        plan = KernelPlan(
+            kernel_names=("blur.0",),
+            block=(16,),
+            streaming="serial",
+            stream_axis=0,
+        )
+        source = emit_cuda(ir, plan).source
+        assert "float" in source and "__global__" in source

@@ -1,0 +1,111 @@
+"""Suite-wide integration checks across all 11 benchmarks."""
+
+import pytest
+
+from repro.codegen import emit_cuda, kernel_symbol
+from repro.codegen.resources import auto_assign, seed_plan_from_pragma
+from repro.dsl import parse
+from repro.gpu import P100, simulate
+from repro.ir import build_ir, characteristics
+from repro.profiling import classify_result, profile
+from repro.suite import BENCHMARKS, get, load_ir
+
+ALL = list(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestSuiteWide:
+    def _seeded(self, name):
+        ir = load_ir(name)
+        plans = []
+        for instance in ir.kernels:
+            plans.append(
+                auto_assign(ir, seed_plan_from_pragma(ir, instance)).plan
+            )
+        return ir, plans
+
+    def test_seed_plans_simulate(self, name):
+        ir, plans = self._seeded(name)
+        for plan in plans:
+            result = simulate(ir, plan, P100)
+            assert result.time_s > 0
+            assert result.counters.useful_flops > 0
+
+    def test_flops_counter_consistent_with_table1(self, name):
+        ir, plans = self._seeded(name)
+        points = 1
+        for extent in ir.domain_shape():
+            points *= extent
+        total_useful = sum(
+            simulate(ir, plan, P100).counters.useful_flops for plan in plans
+        )
+        row = characteristics(ir)
+        assert total_useful == row.flops_per_point * points
+
+    def test_cuda_emits_for_every_kernel(self, name):
+        ir, plans = self._seeded(name)
+        for plan in plans:
+            generated = emit_cuda(ir, plan)
+            assert generated.source.count("{") == generated.source.count("}")
+            assert f"__global__ void {kernel_symbol(plan)}" in generated.source
+            assert "void launch_" in generated.source
+
+    def test_profiles_and_classifies(self, name):
+        ir, plans = self._seeded(name)
+        report = profile(ir, plans[0], P100)
+        verdict = classify_result(report.result, P100)
+        assert verdict.bound_level in ("dram", "tex", "shm", "compute",
+                                       "latency")
+
+    def test_dsl_reparses(self, name):
+        text = get(name).dsl()
+        ir = build_ir(parse(text))
+        assert len(ir.kernels) == len(load_ir(name).kernels)
+
+    def test_spatial_seeds_are_texture_or_dram_bound(self, name):
+        """Table III: the suite's spatial kernels are bandwidth-bound."""
+        spec = get(name)
+        if spec.iterative:
+            pytest.skip("iterative")
+        ir, plans = self._seeded(name)
+        report = profile(ir, plans[0], P100)
+        verdict = classify_result(report.result, P100)
+        assert verdict.bound_level in ("dram", "tex", "shm")
+
+
+class TestOccupancyPragmaEndToEnd:
+    def test_occupancy_clause_rations_buffers(self):
+        """§II-B2: 'occupancy t' demotes least-accessed shared buffers."""
+        src = """
+        parameter N=320;
+        iterator k, j, i;
+        double a[N,N,N], b[N,N,N], c[N,N,N], d[N,N,N], out[N,N,N];
+        copyin a, b, c, d;
+        #pragma stream k block (32,32) occupancy 1.0
+        stencil s (out, a, b, c, d) {
+          #assign shmem (a, b, c, d)
+          out[k][j][i] = a[k][j][i+1] + a[k][j][i-1]
+            + b[k][j+1][i] + b[k][j-1][i]
+            + c[k+1][j][i] + c[k-1][j][i] + d[k][j][i];
+        }
+        s (out, a, b, c, d);
+        copyout out;
+        """
+        ir = build_ir(parse(src))
+        plan = seed_plan_from_pragma(ir, ir.kernels[0])
+        from repro.codegen.tiling import launch_geometry, shmem_bytes_per_block
+        from repro.gpu import occupancy
+        from repro.gpu.registers import compiled_registers
+
+        geometry = launch_geometry(ir, plan)
+        result = occupancy(
+            P100,
+            geometry.threads_per_block,
+            compiled_registers(ir, plan)["compiled"],
+            shmem_bytes_per_block(ir, plan),
+        )
+        assert result.occupancy >= 1.0
+        # Full occupancy with 1024-thread blocks needs <= 32 KB of
+        # shared memory: the least-accessed buffer (d) must be demoted.
+        shared = [a for a, s in plan.placements if s == "shmem"]
+        assert len(shared) < 4

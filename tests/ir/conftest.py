@@ -1,0 +1,72 @@
+"""Shared fixtures: small parsed programs and their IR."""
+
+import pytest
+
+from repro.dsl import parse
+from repro.ir import build_ir
+
+JACOBI_SRC = """
+parameter L=64, M=64, N=64;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin out, in, h2inv, a, b;
+iterate 12;
+#pragma stream k block (32,16) unroll j=2
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1] + A[k][j][i-1]
+    + A[k][j+1][i] + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i]
+    - A[k][j][i]*6.0);
+}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+"""
+
+PIPELINE_SRC = """
+parameter N=32;
+iterator k, j, i;
+double a[N,N,N], b[N,N,N], c[N,N,N], w;
+copyin a, w;
+stencil blur (out, inp, w) {
+  out[k][j][i] = w * (inp[k][j][i+1] + inp[k][j][i-1]);
+}
+stencil sharpen (out, inp) {
+  out[k][j][i] = 2.0*inp[k][j][i] - 0.5*(inp[k+1][j][i] + inp[k-1][j][i]);
+}
+blur (b, a, w);
+sharpen (c, b);
+copyout c;
+"""
+
+SW4_LIKE_SRC = """
+parameter N=32;
+iterator k, j, i;
+double u0[N,N,N], u1[N,N,N], mu[N,N,N], la[N,N,N],
+       uacc0[N,N,N], uacc1[N,N,N], strx[N];
+copyin u0, u1, mu, la, strx;
+stencil rhs (uacc0, uacc1, u0, u1, mu, la, strx) {
+  mux1 = mu[k][j][i-1] * la[k][j][i-1];
+  mux2 = mu[k][j][i+1] * la[k][j][i+1];
+  r0 = mux1 * u0[k][j][i-1] + mux2 * u0[k][j][i+1];
+  r1 = mux1 * u1[k][j][i-1] + mux2 * u1[k][j][i+1];
+  uacc0[k][j][i] = strx[i] * r0;
+  uacc1[k][j][i] = strx[i] * r1;
+}
+rhs (uacc0, uacc1, u0, u1, mu, la, strx);
+copyout uacc0, uacc1;
+"""
+
+
+@pytest.fixture
+def jacobi_ir():
+    return build_ir(parse(JACOBI_SRC))
+
+
+@pytest.fixture
+def pipeline_ir():
+    return build_ir(parse(PIPELINE_SRC))
+
+
+@pytest.fixture
+def sw4_ir():
+    return build_ir(parse(SW4_LIKE_SRC))

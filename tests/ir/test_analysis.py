@@ -1,0 +1,135 @@
+"""Tests for IR analyses: FLOPs, order, halos, access summaries, OI."""
+
+import pytest
+
+from repro.dsl import parse, parse_expr_text
+from repro.ir import (
+    access_summary,
+    build_ir,
+    characteristics,
+    combined_halo,
+    count_flops,
+    kernel_flops_per_point,
+    read_halos,
+    stencil_order,
+    theoretical_oi,
+)
+
+
+class TestCountFlops:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a + b", 1),
+            ("a * b + c", 2),
+            ("a", 0),
+            ("A[k][j][i]", 0),
+            ("-a", 0),
+            ("a * (b + c) / d", 3),
+            ("sqrt(a + b)", 2),
+            ("fmax(a, b)", 1),
+            ("a*A[k][j][i] - c*(A[k][j][i+1] + A[k][j][i-1])", 4),
+        ],
+    )
+    def test_counts(self, text, expected):
+        assert count_flops(parse_expr_text(text)) == expected
+
+
+class TestJacobiAnalysis:
+    def test_flops_per_point(self, jacobi_ir):
+        # Listing 1's jacobi: 1 (c=b*h2inv) + RHS of the update.
+        kernel = jacobi_ir.kernels[0]
+        flops = kernel_flops_per_point(kernel)
+        # RHS: a*A - c*(...): the paren sum has 6 adds/subs + 1 mul (A*6.0)
+        # -> total = 1 + (2 muls + 1 sub + 7 ops) = 11
+        assert flops == 11
+
+    def test_order_is_one(self, jacobi_ir):
+        assert stencil_order(jacobi_ir, jacobi_ir.kernels[0]) == 1
+
+    def test_read_halo(self, jacobi_ir):
+        halos = read_halos(jacobi_ir, jacobi_ir.kernels[0])
+        assert halos["in"] == ((1, 1), (1, 1), (1, 1))
+
+    def test_combined_halo(self, jacobi_ir):
+        assert combined_halo(jacobi_ir, jacobi_ir.kernels[0]) == (
+            (1, 1),
+            (1, 1),
+            (1, 1),
+        )
+
+    def test_access_summary(self, jacobi_ir):
+        summary = access_summary(jacobi_ir, jacobi_ir.kernels[0])
+        # A[k][j][i] appears twice textually (a*A and A*6.0): 8 reads,
+        # 7 distinct offsets.
+        assert summary["in"].reads_total == 8
+        assert summary["in"].reads_distinct == 7
+        assert summary["out"].writes == 1
+
+
+class TestOrderAndHalos:
+    def test_order2_stencil(self):
+        src = """
+        parameter N=32;
+        iterator k, j, i;
+        double A[N,N,N], B[N,N,N];
+        stencil s (B, A) {
+          B[k][j][i] = A[k][j][i+2] - A[k-2][j][i];
+        }
+        s (B, A);
+        """
+        ir = build_ir(parse(src))
+        assert stencil_order(ir, ir.kernels[0]) == 2
+
+    def test_asymmetric_halo(self):
+        src = """
+        parameter N=32;
+        iterator j, i;
+        double A[N,N], B[N,N];
+        stencil s (B, A) {
+          B[j][i] = A[j][i+3] + A[j-1][i];
+        }
+        s (B, A);
+        """
+        ir = build_ir(parse(src))
+        halos = read_halos(ir, ir.kernels[0])
+        assert halos["A"] == ((1, 0), (0, 3))
+
+    def test_lower_rank_array_halo(self, sw4_ir):
+        halos = read_halos(sw4_ir, sw4_ir.kernels[0])
+        # strx[i] is read only at offset 0 along the i axis.
+        assert halos["strx"] == ((0, 0), (0, 0), (0, 0))
+
+    def test_repeated_access_counted_once_in_distinct(self, sw4_ir):
+        summary = access_summary(sw4_ir, sw4_ir.kernels[0])
+        # u0 is read at i-1 and i+1 only.
+        assert summary["u0"].reads_distinct == 2
+        # strx[i] is read twice textually, one distinct offset.
+        assert summary["strx"].reads_total == 2
+        assert summary["strx"].reads_distinct == 1
+
+
+class TestCharacteristics:
+    def test_jacobi_table1_row(self, jacobi_ir):
+        row = characteristics(jacobi_ir)
+        assert row.domain == (64, 64, 64)
+        assert row.time_iterations == 12
+        assert row.order == 1
+        assert row.io_arrays == 2
+        assert row.flops_per_point == 11
+
+    def test_multi_kernel_io_union(self, pipeline_ir):
+        row = characteristics(pipeline_ir)
+        assert row.io_arrays == 3  # a, b, c
+
+    def test_theoretical_oi_jacobi(self, jacobi_ir):
+        # 11 flops/point; in read once + out written once = 16 B/point.
+        oi = theoretical_oi(jacobi_ir)
+        assert oi == pytest.approx(11 / 16)
+
+    def test_theoretical_oi_counts_intermediates_twice(self, pipeline_ir):
+        # b is written by blur and read by sharpen: 2 moves.
+        oi = theoretical_oi(pipeline_ir)
+        flops = 2 + 4  # blur 2, sharpen 4
+        bytes_per_point = (1 + 2 + 1) * 8  # a read, b write+read, c write
+        assert oi == pytest.approx(flops / bytes_per_point)

@@ -1,0 +1,118 @@
+"""Tests for statement decomposition into accumulation chains."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dsl import Name, parse_expr_text
+from repro.dsl.ast import BinOp, Num, UnaryOp
+from repro.ir import (
+    decompose_statement,
+    join_accumulation,
+    split_accumulation,
+)
+from repro.ir.stencil import Statement
+from repro.dsl.ast import ArrayAccess, AffineIndex
+
+
+def _stmt(text_lhs, text_rhs):
+    lhs = parse_expr_text(text_lhs)
+    return Statement(lhs=lhs, rhs=parse_expr_text(text_rhs))
+
+
+class TestSplitAccumulation:
+    def test_simple_sum(self):
+        terms = split_accumulation(parse_expr_text("a + b - c"))
+        signs = [s for s, _ in terms]
+        names = [str(t) for _, t in terms]
+        assert signs == [1, 1, -1]
+        assert names == ["a", "b", "c"]
+
+    def test_nested_negation(self):
+        terms = split_accumulation(parse_expr_text("a - (b - c)"))
+        # a - (b - c) = a - b + c ... but (b - c) is parenthesized and the
+        # splitter recurses through additive structure regardless.
+        signs = [s for s, _ in terms]
+        assert signs == [1, -1, 1]
+
+    def test_unary_minus(self):
+        terms = split_accumulation(parse_expr_text("-a + b"))
+        assert [s for s, _ in terms] == [-1, 1]
+
+    def test_products_are_opaque(self):
+        terms = split_accumulation(parse_expr_text("a*b + c*d"))
+        assert len(terms) == 2
+        assert all(isinstance(t, BinOp) and t.op == "*" for _, t in terms)
+
+    def test_single_term(self):
+        terms = split_accumulation(parse_expr_text("a * b"))
+        assert len(terms) == 1 and terms[0][0] == 1
+
+
+class TestJoinAccumulation:
+    def test_join_inverse_structure(self):
+        expr = parse_expr_text("a + b - c")
+        rejoined = join_accumulation(split_accumulation(expr))
+        assert split_accumulation(rejoined) == split_accumulation(expr)
+
+    def test_leading_negative(self):
+        expr = parse_expr_text("-a + b")
+        rejoined = join_accumulation(split_accumulation(expr))
+        assert isinstance(rejoined, BinOp)
+        assert split_accumulation(rejoined) == split_accumulation(expr)
+
+
+# Property: split/join round-trips on random additive expressions.
+_leaf = st.one_of(
+    st.sampled_from(["a", "b", "c"]).map(Name),
+    st.integers(1, 9).map(lambda v: Num(float(v), is_int=True)),
+)
+
+
+def _add_chain(children):
+    return st.one_of(
+        st.tuples(st.sampled_from("+-"), children, children).map(
+            lambda t: BinOp(t[0], t[1], t[2])
+        ),
+        children.map(lambda e: UnaryOp("-", e)),
+    )
+
+
+additive_exprs = st.recursive(_leaf, _add_chain, max_leaves=10)
+
+
+@given(additive_exprs)
+@settings(max_examples=150, deadline=None)
+def test_split_join_fixpoint(expr):
+    terms = split_accumulation(expr)
+    rejoined = join_accumulation(terms)
+    assert split_accumulation(rejoined) == terms
+
+
+class TestDecomposeStatement:
+    def test_three_terms(self):
+        stmt = _stmt("B[k][j][i]", "A[k-1][j][i] + A[k][j][i] - A[k+1][j][i]")
+        result = decompose_statement(stmt, "_acc0")
+        subs = result.sub_statements
+        assert len(subs) == 4
+        assert subs[0].op == "=" and subs[0].target == "_acc0"
+        assert subs[1].op == "+=" and subs[2].op == "+="
+        # Negative term arrives negated.
+        assert isinstance(subs[2].rhs, UnaryOp)
+        # Final store writes the accumulator back.
+        assert subs[3].target == "B"
+        assert subs[3].rhs == Name("_acc0")
+
+    def test_local_statement_rejected(self):
+        stmt = Statement(lhs=Name("r"), rhs=parse_expr_text("a + b"))
+        try:
+            decompose_statement(stmt, "_acc0")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_preserves_store_op(self):
+        lhs = ArrayAccess("B", (AffineIndex.of({"i": 1}),))
+        stmt = Statement(lhs=lhs, rhs=parse_expr_text("a + b"), op="+=")
+        result = decompose_statement(stmt, "_t")
+        assert result.sub_statements[-1].op == "+="

@@ -1,0 +1,102 @@
+"""Tests for distributive decomposition (the §III-B2 retiming enabler)."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dsl import parse_expr_text
+from repro.ir.decompose import distribute_products, split_accumulation
+
+
+def _eval(expr, env):
+    from repro.dsl.ast import ArrayAccess, BinOp, Call, Name, Num, UnaryOp
+
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Name):
+        return env[expr.id]
+    if isinstance(expr, UnaryOp):
+        return -_eval(expr.operand, env)
+    if isinstance(expr, BinOp):
+        left, right = _eval(expr.left, env), _eval(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right
+    raise TypeError(type(expr))
+
+
+ENV = {"a": 1.7, "b": -0.3, "c": 2.9, "d": 0.8}
+
+
+class TestDistribution:
+    def test_scalar_times_sum(self):
+        expr = parse_expr_text("c * (a + b)")
+        distributed = distribute_products(expr)
+        terms = split_accumulation(distributed)
+        assert len(terms) == 2
+        assert np.isclose(_eval(distributed, ENV), _eval(expr, ENV))
+
+    def test_sum_times_sum(self):
+        expr = parse_expr_text("(a + b) * (c - d)")
+        distributed = distribute_products(expr)
+        assert len(split_accumulation(distributed)) == 4
+        assert np.isclose(_eval(distributed, ENV), _eval(expr, ENV))
+
+    def test_quotient_of_sum(self):
+        expr = parse_expr_text("(a - b) / d")
+        distributed = distribute_products(expr)
+        assert len(split_accumulation(distributed)) == 2
+        assert np.isclose(_eval(distributed, ENV), _eval(expr, ENV))
+
+    def test_nested(self):
+        expr = parse_expr_text("c * (a + b * (c + d))")
+        distributed = distribute_products(expr)
+        assert len(split_accumulation(distributed)) == 3
+        assert np.isclose(_eval(distributed, ENV), _eval(expr, ENV))
+
+    def test_plain_product_untouched(self):
+        expr = parse_expr_text("a * b")
+        assert distribute_products(expr) == expr
+
+    def test_split_with_distribute_flag(self):
+        expr = parse_expr_text("c*(a + b) - d")
+        terms = split_accumulation(expr, distribute=True)
+        assert len(terms) == 3
+        signs = [s for s, _ in terms]
+        assert signs == [1, 1, -1]
+
+
+_leaf = st.sampled_from(["a", "b", "c", "d"]).map(parse_expr_text)
+
+
+def _builders(children):
+    from repro.dsl.ast import BinOp, UnaryOp
+
+    return st.one_of(
+        st.tuples(st.sampled_from("+-*"), children, children).map(
+            lambda t: BinOp(t[0], t[1], t[2])
+        ),
+        children.map(lambda e: UnaryOp("-", e)),
+    )
+
+
+exprs = st.recursive(_leaf, _builders, max_leaves=8)
+
+
+@given(exprs)
+@settings(max_examples=200, deadline=None)
+def test_distribution_preserves_value(expr):
+    distributed = distribute_products(expr)
+    assert np.isclose(_eval(distributed, ENV), _eval(expr, ENV), rtol=1e-10)
+
+
+@given(exprs)
+@settings(max_examples=200, deadline=None)
+def test_distributed_terms_sum_to_value(expr):
+    terms = split_accumulation(expr, distribute=True)
+    total = sum(sign * _eval(term, ENV) for sign, term in terms)
+    assert np.isclose(total, _eval(expr, ENV), rtol=1e-10)

@@ -1,0 +1,100 @@
+"""Tests for storage/computation folding detection and transform."""
+
+from repro.dsl import parse, array_accesses
+from repro.ir import apply_folding, build_ir, find_fold_groups
+
+
+def _kernel(body, decls="double A[N,N,N], B[N,N,N], mu[N,N,N], la[N,N,N];"):
+    src = f"""
+    parameter N=16;
+    iterator k, j, i;
+    {decls}
+    stencil s (B, A, mu, la) {{
+      {body}
+    }}
+    s (B, A, mu, la);
+    """
+    ir = build_ir(parse(src))
+    return ir.kernels[0]
+
+
+class TestDetection:
+    def test_simple_product_group(self):
+        kernel = _kernel("B[k][j][i] = mu[k][j][i] * la[k][j][i] + A[k][j][i];")
+        groups = find_fold_groups(kernel)
+        assert len(groups) == 1
+        assert groups[0].members == ("la", "mu")
+        assert groups[0].op == "*"
+
+    def test_group_with_multiple_offsets(self):
+        kernel = _kernel(
+            "B[k][j][i] = mu[k][j][i+1]*la[k][j][i+1] + mu[k][j][i-1]*la[k][j][i-1];"
+        )
+        groups = find_fold_groups(kernel)
+        assert len(groups) == 1 and groups[0].members == ("la", "mu")
+
+    def test_stray_access_blocks_fold(self):
+        kernel = _kernel(
+            "B[k][j][i] = mu[k][j][i]*la[k][j][i] + mu[k][j][i+1] + A[k][j][i];"
+        )
+        assert find_fold_groups(kernel) == ()
+
+    def test_mismatched_offsets_block_fold(self):
+        kernel = _kernel("B[k][j][i] = mu[k][j][i] * la[k][j][i+1];")
+        assert find_fold_groups(kernel) == ()
+
+    def test_additive_group(self):
+        kernel = _kernel("B[k][j][i] = (mu[k][j][i] + la[k][j][i]) * A[k][j][i];")
+        groups = find_fold_groups(kernel)
+        assert len(groups) == 1 and groups[0].op == "+"
+
+    def test_written_array_never_folds(self):
+        kernel = _kernel("B[k][j][i] = B[k][j][i] * A[k][j][i];")
+        # B is written; A+B should not fold.
+        assert find_fold_groups(kernel) == ()
+
+    def test_scalar_factor_allowed(self):
+        kernel = _kernel(
+            "B[k][j][i] = 2.0 * mu[k][j][i] * la[k][j][i] + A[k][j][i];"
+        )
+        groups = find_fold_groups(kernel)
+        assert len(groups) == 1 and groups[0].members == ("la", "mu")
+
+
+class TestTransform:
+    def test_occurrences_replaced(self):
+        kernel = _kernel(
+            "B[k][j][i] = mu[k][j][i+1]*la[k][j][i+1] + mu[k][j][i-1]*la[k][j][i-1];"
+        )
+        groups = find_fold_groups(kernel)
+        folded_kernel, folded_defs = apply_folding(kernel, groups)
+        assert folded_defs[0].members == ("la", "mu")
+        accesses = [
+            a.name
+            for s in folded_kernel.statements
+            for a in array_accesses(s.rhs)
+        ]
+        assert "mu" not in accesses and "la" not in accesses
+        assert accesses.count(folded_defs[0].name) == 2
+
+    def test_scalar_factors_preserved(self):
+        kernel = _kernel(
+            "B[k][j][i] = 2.0 * mu[k][j][i] * la[k][j][i] + A[k][j][i];"
+        )
+        groups = find_fold_groups(kernel)
+        folded_kernel, _ = apply_folding(kernel, groups)
+        text = str(folded_kernel.statements[0].rhs)
+        assert "2.0" in text
+
+    def test_noop_without_groups(self):
+        kernel = _kernel("B[k][j][i] = A[k][j][i];")
+        folded_kernel, defs = apply_folding(kernel, ())
+        assert folded_kernel is kernel and defs == ()
+
+    def test_fold_reduces_distinct_arrays(self):
+        kernel = _kernel(
+            "B[k][j][i] = mu[k][j][i]*la[k][j][i] + mu[k][j][i+1]*la[k][j][i+1];"
+        )
+        groups = find_fold_groups(kernel)
+        folded_kernel, _ = apply_folding(kernel, groups)
+        assert len(folded_kernel.arrays_read()) < len(kernel.arrays_read())

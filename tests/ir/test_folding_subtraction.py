@@ -1,0 +1,102 @@
+"""Tests for binary-subtraction folds (the SW4 (u - um) motif)."""
+
+import numpy as np
+
+from repro.dsl import parse, array_accesses
+from repro.ir import apply_folding, build_ir, find_fold_groups
+
+
+def _kernel(body):
+    src = f"""
+    parameter N=16;
+    iterator k, j, i;
+    double u[N,N,N], um[N,N,N], B[N,N,N];
+    stencil s (B, u, um) {{
+      {body}
+    }}
+    s (B, u, um);
+    """
+    ir = build_ir(parse(src))
+    return ir, ir.kernels[0]
+
+
+class TestSubtractionFolds:
+    def test_simple_difference_detected(self):
+        _ir, kernel = _kernel(
+            "B[k][j][i] = (u[k][j][i+1] - um[k][j][i+1]) "
+            "+ (u[k][j][i-1] - um[k][j][i-1]);"
+        )
+        groups = find_fold_groups(kernel)
+        assert len(groups) == 1
+        assert groups[0].members == ("u", "um")
+        assert groups[0].op == "-"
+
+    def test_member_order_is_semantic(self):
+        # (um - u) must fold with members in that order, not sorted.
+        _ir, kernel = _kernel(
+            "B[k][j][i] = (um[k][j][i+1] - u[k][j][i+1]) "
+            "+ (um[k][j][i-1] - u[k][j][i-1]);"
+        )
+        groups = find_fold_groups(kernel)
+        assert groups[0].members == ("um", "u")
+
+    def test_mismatched_offsets_block(self):
+        _ir, kernel = _kernel(
+            "B[k][j][i] = u[k][j][i+1] - um[k][j][i-1];"
+        )
+        assert find_fold_groups(kernel) == ()
+
+    def test_stray_access_blocks(self):
+        _ir, kernel = _kernel(
+            "B[k][j][i] = (u[k][j][i] - um[k][j][i]) + u[k][j][i+1];"
+        )
+        assert find_fold_groups(kernel) == ()
+
+    def test_transform_replaces_pairs(self):
+        _ir, kernel = _kernel(
+            "B[k][j][i] = (u[k][j][i+1] - um[k][j][i+1]) "
+            "+ (u[k][j][i-1] - um[k][j][i-1]);"
+        )
+        groups = find_fold_groups(kernel)
+        folded, defs = apply_folding(kernel, groups)
+        names = [a.name for s in folded.statements
+                 for a in array_accesses(s.rhs)]
+        assert names.count(defs[0].name) == 2
+        assert "u" not in names and "um" not in names
+
+    def test_folded_execution_matches(self):
+        from repro.codegen import KernelPlan
+        from repro.gpu.executor import (
+            allocate_inputs,
+            default_scalars,
+            execute_plan,
+            execute_reference,
+        )
+
+        ir, kernel = _kernel(
+            "B[k][j][i] = (u[k][j][i+1] - um[k][j][i+1]) "
+            "+ (u[k][j][i-1] - um[k][j][i-1]);"
+        )
+        groups = find_fold_groups(kernel)
+        plan = KernelPlan(
+            kernel_names=("s.0",),
+            block=(4, 4),
+            streaming="serial",
+            stream_axis=0,
+            fold_groups=groups,
+        )
+        inputs = allocate_inputs(ir)
+        scalars = default_scalars(ir)
+        reference = execute_reference(ir, inputs, scalars)
+        got = execute_plan(ir, plan, inputs, scalars)
+        assert np.allclose(reference["B"], got["B"], rtol=1e-14)
+
+    def test_addsgd_suite_kernels_fold(self):
+        from repro.suite import load_ir
+
+        for name in ("addsgd4", "addsgd6"):
+            ir = load_ir(name)
+            groups = find_fold_groups(ir.kernels[0])
+            members = {g.members for g in groups}
+            assert ("u0", "um0") in members, name
+            assert ("u1", "um1") in members and ("u2", "um2") in members

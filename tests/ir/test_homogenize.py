@@ -1,0 +1,109 @@
+"""Tests for homogenization (retiming legality, Section III-B2)."""
+
+from repro.dsl import parse, parse_expr_text
+from repro.ir import (
+    build_ir,
+    expr_homogenization,
+    homogenize_expr,
+    kernel_retimable,
+    statement_retimable,
+    streaming_iterator,
+)
+
+
+class TestExprHomogenization:
+    def test_paper_example_positive(self):
+        # B[k][j][i] = A[k-1][j][i]: RHS homogenizable by adding 1.
+        result = expr_homogenization(parse_expr_text("A[k-1][j][i]"), "k")
+        assert result.homogenizable and result.offset == -1
+
+    def test_paper_example_negative(self):
+        # C[k+1][j][i] * A[k-1][j][i] cannot be homogenized.
+        expr = parse_expr_text("C[k+1][j][i] * A[k-1][j][i]")
+        result = expr_homogenization(expr, "k")
+        assert not result.homogenizable
+
+    def test_mixed_rank_invariant(self):
+        # strx[i] does not index k, so it is offset-invariant along k.
+        expr = parse_expr_text("strx[i] * A[k+2][j][i]")
+        result = expr_homogenization(expr, "k")
+        assert result.homogenizable and result.offset == 2
+
+    def test_same_offsets_multiple_arrays(self):
+        expr = parse_expr_text("A[k-1][j][i] + C[k-1][j+1][i]")
+        result = expr_homogenization(expr, "k")
+        assert result.homogenizable and result.offset == -1
+
+    def test_no_k_accesses(self):
+        result = expr_homogenization(parse_expr_text("a * strx[i]"), "k")
+        assert result.homogenizable and result.offset == 0
+
+    def test_skewed_subscript_rejected(self):
+        expr = parse_expr_text("A[2*k][j][i]")
+        result = expr_homogenization(expr, "k")
+        assert not result.homogenizable
+
+
+class TestHomogenizeTransform:
+    def test_shift_to_zero(self):
+        expr, offset = homogenize_expr(parse_expr_text("A[k-1][j][i+1]"), "k")
+        assert offset == -1
+        assert str(expr) == "A[k][j][i+1]"
+
+    def test_noop_when_centered(self):
+        original = parse_expr_text("A[k][j][i]")
+        expr, offset = homogenize_expr(original, "k")
+        assert offset == 0 and expr is original
+
+    def test_raises_on_inhomogeneous(self):
+        expr = parse_expr_text("A[k-1][j][i] * A[k+1][j][i]")
+        try:
+            homogenize_expr(expr, "k")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestStatementRetimable:
+    def _kernel(self, body):
+        src = f"""
+        parameter N=32;
+        iterator k, j, i;
+        double A[N,N,N], B[N,N,N], C[N,N,N];
+        stencil s (B, A, C) {{
+          {body}
+        }}
+        s (B, A, C);
+        """
+        ir = build_ir(parse(src))
+        return ir, ir.kernels[0]
+
+    def test_sum_of_homogenizable_terms(self):
+        # Each additive term has a single k offset -> retimable even
+        # though the offsets differ between terms.
+        ir, kernel = self._kernel(
+            "B[k][j][i] = A[k-1][j][i] + A[k][j][i] + A[k+1][j][i];"
+        )
+        assert statement_retimable(kernel.statements[0], "k")
+        assert kernel_retimable(ir, kernel)
+
+    def test_product_across_offsets_not_retimable(self):
+        ir, kernel = self._kernel("B[k][j][i] = C[k+1][j][i] * A[k-1][j][i];")
+        assert not statement_retimable(kernel.statements[0], "k")
+        assert not kernel_retimable(ir, kernel)
+
+    def test_product_within_term_same_offset_ok(self):
+        ir, kernel = self._kernel(
+            "B[k][j][i] = C[k-1][j][i] * A[k-1][j][i] + A[k][j][i];"
+        )
+        assert kernel_retimable(ir, kernel)
+
+
+class TestStreamingIterator:
+    def test_default_outermost(self, pipeline_ir):
+        kernel = pipeline_ir.kernels[0]
+        assert streaming_iterator(pipeline_ir, kernel) == "k"
+
+    def test_pragma_overrides(self, jacobi_ir):
+        assert streaming_iterator(jacobi_ir, jacobi_ir.kernels[0]) == "k"

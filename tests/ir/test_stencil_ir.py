@@ -1,0 +1,74 @@
+"""Tests for IR construction (instantiation of stencil calls)."""
+
+from repro.dsl import parse
+from repro.ir import build_ir
+
+
+class TestBuildIR:
+    def test_arrays_and_scalars(self, jacobi_ir):
+        arrays = jacobi_ir.array_map
+        assert set(arrays) == {"in", "out"}
+        assert arrays["in"].shape == (64, 64, 64)
+        assert arrays["in"].bytes == 64**3 * 8
+        assert set(jacobi_ir.scalar_map) == {"a", "b", "h2inv"}
+
+    def test_kernel_instantiation_renames_formals(self, jacobi_ir):
+        kernel = jacobi_ir.kernels[0]
+        assert kernel.name == "jacobi.0"
+        assert kernel.arrays_written() == ("out",)
+        assert kernel.arrays_read() == ("in",)
+
+    def test_local_statement_preserved(self, jacobi_ir):
+        kernel = jacobi_ir.kernels[0]
+        locals_ = kernel.local_statements()
+        assert len(locals_) == 1 and locals_[0].target == "c"
+
+    def test_pragma_carried(self, jacobi_ir):
+        assert jacobi_ir.kernels[0].pragma.stream_dim == "k"
+
+    def test_time_iterations(self, jacobi_ir):
+        assert jacobi_ir.time_iterations == 12
+        assert jacobi_ir.is_iterative
+
+    def test_domain_shape(self, jacobi_ir):
+        assert jacobi_ir.domain_shape() == (64, 64, 64)
+
+    def test_pipeline_two_kernels(self, pipeline_ir):
+        assert [k.name for k in pipeline_ir.kernels] == ["blur.0", "sharpen.0"]
+        assert pipeline_ir.kernels[0].arrays_written() == ("b",)
+        assert pipeline_ir.kernels[1].arrays_read() == ("b",)
+
+    def test_io_arrays_order(self, sw4_ir):
+        kernel = sw4_ir.kernels[0]
+        io = kernel.io_arrays()
+        assert set(io) == {"u0", "u1", "mu", "la", "strx", "uacc0", "uacc1"}
+
+    def test_same_stencil_twice_gets_distinct_names(self):
+        src = """
+        parameter N=16;
+        iterator i;
+        double a[N], b[N], c[N];
+        stencil cp (o, x) { o[i] = x[i]; }
+        cp (b, a);
+        cp (c, b);
+        """
+        ir = build_ir(parse(src))
+        assert [k.name for k in ir.kernels] == ["cp.0", "cp.1"]
+        assert ir.kernels[1].arrays_read() == ("b",)
+
+    def test_assign_placements_renamed(self):
+        src = """
+        parameter N=16;
+        iterator i;
+        double a[N], b[N];
+        stencil s (o, x) {
+          #assign shmem (x), gmem (o)
+          o[i] = x[i+1] + x[i-1];
+        }
+        s (b, a);
+        """
+        ir = build_ir(parse(src))
+        assert ir.kernels[0].placement_map == {"a": "shmem", "b": "gmem"}
+
+    def test_kernel_lookup(self, pipeline_ir):
+        assert pipeline_ir.kernel("blur.0").stencil_name == "blur"

@@ -1,0 +1,37 @@
+"""Tests for the textual optimization report."""
+
+import pytest
+
+from repro.pipeline import format_report, optimize
+from repro.suite import load_ir
+
+
+@pytest.fixture(scope="module")
+def sw4_outcome():
+    return optimize(load_ir("rhs4sgcurv"), top_k=1)
+
+
+class TestSpatialReport:
+    def test_mentions_variant_and_perf(self, sw4_outcome):
+        text = format_report(sw4_outcome)
+        assert f"variant chosen : {sw4_outcome.variant}" in text
+        assert "TFLOPS" in text
+
+    def test_lists_every_launch(self, sw4_outcome):
+        text = format_report(sw4_outcome)
+        assert text.count("ms/launch") == len(sw4_outcome.schedule.plans)
+
+    def test_oi_triple_present(self, sw4_outcome):
+        text = format_report(sw4_outcome)
+        assert "OI(dram/tex/shm)" in text
+
+    def test_fission_candidates_listed_when_generated(self, sw4_outcome):
+        text = format_report(sw4_outcome)
+        if sw4_outcome.fission_candidates:
+            assert "fission candidates written (DSL)" in text
+            assert "trivial-fission" in text
+
+    def test_hints_rendered(self, sw4_outcome):
+        text = format_report(sw4_outcome)
+        if sw4_outcome.hints:
+            assert "hints:" in text

@@ -1,0 +1,105 @@
+"""Tests for the Section IV-A advisor rules."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.dsl import parse
+from repro.ir import build_ir
+from repro.profiling import advise
+
+ITERATIVE_SRC = """
+parameter L=512, M=512, N=512;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a;
+copyin in, a;
+iterate 12;
+stencil s (B, A, a) {
+  B[k][j][i] = a * (A[k][j][i+1] + A[k][j][i-1] + A[k+1][j][i]
+    + A[k-1][j][i] + A[k][j][i]);
+}
+s (out, in, a);
+copyout out;
+"""
+
+
+def _spatial_heavy_src():
+    """A register-hungry spatial kernel (many temps, many arrays)."""
+    arrays = ", ".join(f"u{n}[N,N,N]" for n in range(8))
+    temps = []
+    acc = []
+    for n in range(8):
+        temps.append(
+            f"t{n} = u{n}[k][j][i+2]*u{n}[k][j][i-2] + u{n}[k][j+1][i]"
+            f" + u{n}[k][j-1][i] + u{n}[k+2][j][i] + u{n}[k-2][j][i];"
+        )
+        acc.append(f"t{n}")
+    body = "\n  ".join(temps)
+    params = ", ".join(f"u{n}" for n in range(8))
+    return f"""
+    parameter N=320;
+    iterator k, j, i;
+    double {arrays}, out[N,N,N];
+    copyin {params};
+    stencil heavy (out, {params}) {{
+      {body}
+      out[k][j][i] = {' + '.join(acc)};
+    }}
+    heavy (out, {params});
+    copyout out;
+    """
+
+
+class TestIterativeAdvice:
+    def test_bandwidth_bound_iterative_explores_fusion(self):
+        ir = build_ir(parse(ITERATIVE_SRC))
+        plan = KernelPlan(
+            kernel_names=("s.0",), block=(32, 16),
+            streaming="serial", stream_axis=0,
+            placements=(("in", "shmem"),),
+        )
+        advice = advise(ir, plan)
+        assert advice.explore_higher_fusion
+        assert advice.use_shared_memory
+
+    def test_hints_are_textual(self):
+        ir = build_ir(parse(ITERATIVE_SRC))
+        plan = KernelPlan(
+            kernel_names=("s.0",), block=(32, 16),
+            streaming="serial", stream_axis=0,
+        )
+        advice = advise(ir, plan)
+        assert all(isinstance(h, str) and h for h in advice.hints)
+
+
+class TestSpatialAdvice:
+    def test_register_pressure_disables_unrolling(self):
+        ir = build_ir(parse(_spatial_heavy_src()))
+        plan = KernelPlan(
+            kernel_names=("heavy.0",), block=(16, 16),
+            streaming="serial", stream_axis=0,
+            placements=tuple((f"u{n}", "shmem") for n in range(8)),
+            max_registers=32,
+        )
+        advice = advise(ir, plan)
+        assert not advice.use_unrolling
+        assert advice.explore_fission
+
+    def test_texture_bound_spatial_uses_shared(self):
+        ir = build_ir(parse(_spatial_heavy_src()))
+        plan = KernelPlan(
+            kernel_names=("heavy.0",), block=(16, 16),
+            streaming="serial", stream_axis=0,
+        )
+        advice = advise(ir, plan)
+        assert advice.use_shared_memory
+
+    def test_suppressed_lists_disabled_families(self):
+        ir = build_ir(parse(_spatial_heavy_src()))
+        plan = KernelPlan(
+            kernel_names=("heavy.0",), block=(16, 16),
+            streaming="serial", stream_axis=0,
+            placements=tuple((f"u{n}", "shmem") for n in range(8)),
+            max_registers=32,
+        )
+        advice = advise(ir, plan)
+        assert "loop unrolling" in advice.suppressed()

@@ -1,0 +1,96 @@
+"""Tests for the simulated profiler and code differencing."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.dsl import parse
+from repro.gpu import P100
+from repro.ir import build_ir
+from repro.profiling import (
+    METRIC_NAMES,
+    differencing_test,
+    profile,
+    profile_many,
+)
+
+SRC = """
+parameter L=256, M=256, N=256;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a;
+copyin in, a;
+iterate 12;
+stencil s (B, A, a) {
+  B[k][j][i] = a * (A[k][j][i+1] + A[k][j][i-1] + A[k+1][j][i]
+    + A[k-1][j][i]);
+}
+s (out, in, a);
+copyout out;
+"""
+
+
+@pytest.fixture
+def setup():
+    ir = build_ir(parse(SRC))
+    plan = KernelPlan(
+        kernel_names=("s.0",),
+        block=(32, 16),
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+    return ir, plan
+
+
+class TestProfile:
+    def test_all_metrics_present(self, setup):
+        ir, plan = setup
+        report = profile(ir, plan)
+        assert set(report.metrics) == set(METRIC_NAMES)
+
+    def test_metrics_consistent_with_simulation(self, setup):
+        ir, plan = setup
+        report = profile(ir, plan)
+        assert report.metrics["flop_count_dp"] == report.result.counters.flops
+        assert report.elapsed_ms == report.result.time_ms
+        assert report.tflops > 0
+
+    def test_oi_accessors(self, setup):
+        ir, plan = setup
+        report = profile(ir, plan)
+        for level in ("dram", "tex", "shm"):
+            assert report.oi(level) > 0
+
+    def test_profile_many(self, setup):
+        ir, plan = setup
+        reports = profile_many(ir, (plan, plan.replace(block=(16, 16))))
+        assert len(reports) == 2
+        assert reports[0].plan != reports[1].plan
+
+
+class TestDifferencing:
+    def test_dram_bound_kernel_detected(self, setup):
+        ir, plan = setup
+        verdict = differencing_test(ir, plan, "dram")
+        # The 5-point smoother at time_tile=1 is DRAM bandwidth-bound:
+        # collapsing DRAM traffic must speed it up.
+        assert verdict.bound
+        assert verdict.speedup > 1.1
+
+    def test_non_bound_level_not_flagged(self, setup):
+        ir, plan = setup
+        # A global-memory version has no shared traffic at all, so
+        # collapsing it cannot speed anything up.
+        gmem_plan = plan.replace(placements=())
+        verdict = differencing_test(ir, gmem_plan, "shm")
+        assert not verdict.bound
+
+    def test_unknown_level_rejected(self, setup):
+        ir, plan = setup
+        with pytest.raises(ValueError):
+            differencing_test(ir, plan, "l9")
+
+    def test_reduced_version_is_faster_or_equal(self, setup):
+        ir, plan = setup
+        for level in ("dram", "tex", "shm"):
+            verdict = differencing_test(ir, plan, level)
+            assert verdict.reduced_time_s <= verdict.base_time_s + 1e-12

@@ -1,0 +1,110 @@
+"""Tests for roofline classification."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.dsl import parse
+from repro.gpu import P100, simulate
+from repro.ir import build_ir
+from repro.profiling import (
+    AMBIGUOUS,
+    BANDWIDTH_BOUND,
+    COMPUTE_BOUND,
+    classify,
+    classify_level,
+    classify_result,
+    oi_table,
+)
+
+JACOBI = """
+parameter L=512, M=512, N=512;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a;
+copyin in, a;
+iterate 12;
+stencil jacobi (B, A, a) {
+  B[k][j][i] = a * (A[k][j][i+1] + A[k][j][i-1] + A[k][j+1][i]
+    + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i] + A[k][j][i]);
+}
+jacobi (out, in, a);
+copyout out;
+"""
+
+
+@pytest.fixture
+def jac_result():
+    ir = build_ir(parse(JACOBI))
+    plan = KernelPlan(
+        kernel_names=("jacobi.0",),
+        block=(32, 16),
+        streaming="serial",
+        stream_axis=0,
+        placements=(("in", "shmem"),),
+    )
+    return ir, plan, simulate(ir, plan, P100)
+
+
+class TestClassifyLevel:
+    def test_bandwidth(self):
+        verdict = classify_level(P100, "dram", 1.0)  # ridge 6.42
+        assert verdict.verdict == BANDWIDTH_BOUND
+
+    def test_compute(self):
+        verdict = classify_level(P100, "dram", 7.0)
+        assert verdict.verdict == COMPUTE_BOUND
+
+    def test_ambiguous_band(self):
+        # Within 25% below the ridge.
+        verdict = classify_level(P100, "dram", 6.42 * 0.85)
+        assert verdict.verdict == AMBIGUOUS
+
+    def test_exact_ridge_is_compute(self):
+        verdict = classify_level(P100, "dram", P100.ridge_dram)
+        assert verdict.verdict == COMPUTE_BOUND
+
+    def test_severity_orders(self):
+        low = classify_level(P100, "dram", 0.5)
+        high = classify_level(P100, "dram", 2.0)
+        assert low.severity > high.severity
+
+
+class TestClassifyKernel:
+    def test_smoother_is_bandwidth_bound(self, jac_result):
+        _ir, _plan, result = jac_result
+        report = classify_result(result, P100)
+        assert report.bound_level in ("dram", "tex")
+        assert report.bandwidth_bound_at("dram")
+
+    def test_oi_table_has_three_levels(self, jac_result):
+        _ir, _plan, result = jac_result
+        table = oi_table(result.counters)
+        assert set(table) == {"dram", "tex", "shm"}
+
+    def test_latency_classification(self):
+        # Synthetic counters: bound nowhere, low occupancy.
+        from repro.gpu.counters import KernelCounters
+
+        counters = KernelCounters(
+            flops=1e9, useful_flops=1e9,
+            dram_read_bytes=1e6, dram_write_bytes=1e6,
+            tex_bytes=1e6, shm_bytes=1e6, spill_bytes=0.0,
+            blocks=100, threads_per_block=256, regs_per_thread=255,
+            regs_demand=255, shmem_per_block=0, syncs=0,
+        )
+        report = classify(counters, occupancy=0.125, device=P100)
+        assert report.bound_level == "latency"
+        assert report.latency_bound
+
+    def test_compute_classification_at_high_occupancy(self):
+        from repro.gpu.counters import KernelCounters
+
+        counters = KernelCounters(
+            flops=1e9, useful_flops=1e9,
+            dram_read_bytes=1e6, dram_write_bytes=1e6,
+            tex_bytes=1e6, shm_bytes=1e6, spill_bytes=0.0,
+            blocks=100, threads_per_block=256, regs_per_thread=64,
+            regs_demand=64, shmem_per_block=0, syncs=0,
+        )
+        report = classify(counters, occupancy=0.5, device=P100)
+        assert report.bound_level == "compute"
+        assert report.compute_bound()

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCharacteristics:
+    def test_benchmark_name(self, capsys):
+        assert main(["characteristics", "7pt-smoother"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOPs per point : 10" in out
+        assert "512x512x512" in out
+
+    def test_dsl_file(self, tmp_path, capsys):
+        spec = tmp_path / "simple.dsl"
+        spec.write_text(
+            """
+            parameter N=64;
+            iterator k, j, i;
+            double a[N,N,N], b[N,N,N];
+            copyin a;
+            stencil s (b, a) { b[k][j][i] = a[k][j][i+1] + a[k][j][i-1]; }
+            s (b, a);
+            copyout b;
+            """
+        )
+        assert main(["characteristics", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "stencil order   : 1" in out
+
+    def test_missing_source(self):
+        with pytest.raises(SystemExit):
+            main(["characteristics", "no_such_thing"])
+
+
+class TestSuite:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        for name in ("7pt-smoother", "rhs4sgcurv", "denoise"):
+            assert name in out
+
+
+class TestCuda:
+    def test_emits_kernel(self, capsys):
+        assert main(["cuda", "7pt-smoother"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+        assert "cudaMemcpy" in out
+
+    def test_unknown_device(self):
+        with pytest.raises(SystemExit):
+            main(["cuda", "7pt-smoother", "--device", "H100"])
+
+
+class TestProfile:
+    def test_prints_metrics_and_verdict(self, capsys):
+        assert main(["profile", "7pt-smoother"]) == 0
+        out = capsys.readouterr().out
+        assert "flop_count_dp" in out
+        assert "bound at:" in out
+        assert "OI_dram" in out
+
+
+class TestOptimize:
+    def test_iterative_flow(self, capsys):
+        assert main(["optimize", "7pt-smoother", "--top-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ARTEMIS optimization report" in out
+        assert "tipping point" in out
+
+    def test_custom_iterations(self, capsys):
+        assert main([
+            "optimize", "7pt-smoother", "-T", "5", "--top-k", "1"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T=5" in out
+
+
+class TestDeepTune:
+    def test_smoother(self, capsys):
+        assert main(["deep-tune", "7pt-smoother", "-T", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "tipping point" in out
+        assert "schedule for T=13" in out
+
+    def test_rejects_spatial(self):
+        with pytest.raises(SystemExit):
+            main(["deep-tune", "rhs4center"])

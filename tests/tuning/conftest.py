@@ -1,0 +1,60 @@
+"""Fixtures for tuning tests."""
+
+import pytest
+
+from repro.dsl import parse
+from repro.ir import build_ir
+
+SMOOTHER_SRC = """
+parameter L=512, M=512, N=512;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin in, h2inv, a, b;
+iterate 12;
+#pragma stream k block (32,16)
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1] + A[k][j][i-1]
+    + A[k][j+1][i] + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i]
+    - A[k][j][i]*6.0);
+}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+"""
+
+# A multi-output DAG kernel, SW4-like: shared temporaries feed three
+# outputs (the paper's Figure 3 shape).
+SW4_LIKE_SRC = """
+parameter N=48;
+iterator k, j, i;
+double u0[N,N,N], u1[N,N,N], u2[N,N,N], mu[N,N,N], la[N,N,N],
+       uacc0[N,N,N], uacc1[N,N,N], uacc2[N,N,N];
+copyin u0, u1, u2, mu, la;
+stencil rhs4 (uacc0, uacc1, uacc2, u0, u1, u2, mu, la) {
+  mux1 = mu[k][j][i-1] * la[k][j][i-1];
+  mux2 = mu[k][j][i+1] * la[k][j][i+1];
+  muz1 = mu[k-2][j][i] * la[k-2][j][i];
+  muz2 = mu[k+2][j][i] * la[k+2][j][i];
+  r0 = mux1*u0[k][j][i-2] + mux2*u0[k][j][i+2] + muz1*u0[k-2][j][i]
+     + muz2*u0[k+2][j][i];
+  r1 = mux1*u1[k][j][i-2] + mux2*u1[k][j][i+2] + muz1*u1[k-2][j][i]
+     + muz2*u1[k+2][j][i];
+  r2 = mux1*u2[k][j][i-2] + mux2*u2[k][j][i+2] + muz1*u2[k-2][j][i]
+     + muz2*u2[k+2][j][i];
+  uacc0[k][j][i] = r0;
+  uacc1[k][j][i] = r1;
+  uacc2[k][j][i] = r2;
+}
+rhs4 (uacc0, uacc1, uacc2, u0, u1, u2, mu, la);
+copyout uacc0, uacc1, uacc2;
+"""
+
+
+@pytest.fixture
+def smoother_ir():
+    return build_ir(parse(SMOOTHER_SRC))
+
+
+@pytest.fixture
+def sw4_ir():
+    return build_ir(parse(SW4_LIKE_SRC))

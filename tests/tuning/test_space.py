@@ -1,0 +1,67 @@
+"""Tests for the pruned search space (Section V)."""
+
+from repro.codegen import KernelPlan
+from repro.tuning import SearchSpace, exhaustive_space_size, seed_variants
+
+
+class TestBlockCandidates:
+    def test_powers_of_two_only(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        for combo in space.block_candidates():
+            for extent in combo:
+                assert extent & (extent - 1) == 0
+
+    def test_bounds(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        for combo in space.block_candidates():
+            assert all(4 <= extent <= 256 for extent in combo)
+            threads = combo[0] * combo[1]
+            assert 32 <= threads <= 1024
+
+    def test_streaming_has_two_tiled_dims(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        assert all(len(c) == 2 for c in space.block_candidates())
+
+    def test_non_streaming_has_three_dims(self):
+        space = SearchSpace(ndim=3, streaming=False)
+        assert all(len(c) == 3 for c in space.block_candidates())
+
+
+class TestUnrollCandidates:
+    def test_bandwidth_cap_8(self):
+        space = SearchSpace(ndim=3, streaming=True, bandwidth_bound=True)
+        totals = [SearchSpace._total(c) for c in space.unroll_candidates()]
+        assert max(totals) <= 8
+
+    def test_compute_cap_4(self):
+        space = SearchSpace(ndim=3, streaming=True, bandwidth_bound=False)
+        totals = [SearchSpace._total(c) for c in space.unroll_candidates()]
+        assert max(totals) <= 4
+
+    def test_monotone_ordering(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        totals = [SearchSpace._total(c) for c in space.unroll_candidates()]
+        assert totals == sorted(totals)
+
+    def test_no_stream_axis_unroll(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        assert all(c[0] == 1 for c in space.unroll_candidates())
+
+    def test_unrolling_disabled(self):
+        space = SearchSpace(ndim=3, streaming=True, allow_unroll=False)
+        assert space.unroll_candidates() == ((1, 1, 1),)
+
+
+class TestSpaceSize:
+    def test_pruned_much_smaller_than_exhaustive(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        assert space.size() * 1000 < exhaustive_space_size(3, True)
+
+    def test_seed_variants_cover_space(self):
+        space = SearchSpace(ndim=3, streaming=True)
+        base = KernelPlan(kernel_names=("k.0",), block=(16, 16),
+                          streaming="serial", stream_axis=0)
+        variants = list(seed_variants(base, space))
+        assert len(variants) == space.size()
+        # Base identity is preserved.
+        assert all(v.kernel_names == ("k.0",) for v in variants)
