@@ -1,0 +1,92 @@
+"""Evaluation-engine speedup: full pipeline tune with the engine on/off.
+
+Times ``pipeline.optimize()`` for one temporal kernel (7pt-smoother) and
+one spatial kernel (addsgd4) twice: through the default shared
+``PlanEvaluator`` (memoized, incremental escalation, occupancy
+prescreen) and in seed-equivalent mode (no memoization, full register
+ladder, plan-family caches disabled).  Both runs must land on the
+byte-identical schedule and TFLOPS; the engine must at least halve the
+``simulate()`` call count.  Results land in ``BENCH_evaluator.json``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.gpu.simulator import reset_simulate_calls
+from repro.pipeline import optimize
+from repro.tuning import PlanEvaluator, evaluation_caches_disabled
+
+from _cache import fmt, ir_of, print_table
+
+KERNELS = ("7pt-smoother", "addsgd4")
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_evaluator.json")
+
+_results = {}
+
+
+def _timed_optimize(ir, evaluator=None):
+    reset_simulate_calls()
+    start = time.perf_counter()
+    outcome = optimize(ir, top_k=2, evaluator=evaluator)
+    wall = time.perf_counter() - start
+    return outcome, wall, reset_simulate_calls()
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_evaluator_speedup(name):
+    ir = ir_of(name)
+
+    fast, fast_wall, fast_calls = _timed_optimize(ir)
+    with evaluation_caches_disabled():
+        seed, seed_wall, seed_calls = _timed_optimize(
+            ir, evaluator=PlanEvaluator.seed_mode()
+        )
+
+    # Determinism: the engine changes cost, never results.
+    assert fast.schedule == seed.schedule
+    assert fast.tflops == seed.tflops
+    assert fast.variant == seed.variant
+    # Acceptance: >= 2x reduction in simulate() calls.
+    assert fast_calls > 0
+    assert seed_calls >= 2 * fast_calls
+
+    _results[name] = {
+        "engine": {
+            "wall_s": round(fast_wall, 4),
+            "simulate_calls": fast_calls,
+        },
+        "seed_mode": {
+            "wall_s": round(seed_wall, 4),
+            "simulate_calls": seed_calls,
+        },
+        "call_reduction": round(seed_calls / fast_calls, 2),
+        "wall_speedup": round(seed_wall / fast_wall, 2),
+        "tflops": fast.tflops,
+        "identical_schedule": True,
+    }
+
+    print_table(
+        f"evaluation engine vs seed path: {name}",
+        ["quantity", "engine", "seed mode"],
+        [
+            ["simulate() calls", fast_calls, seed_calls],
+            ["wall-clock (s)", fmt(fast_wall), fmt(seed_wall)],
+            ["TFLOPS", fmt(fast.tflops), fmt(seed.tflops)],
+            [
+                "reduction / speedup",
+                f"{seed_calls / fast_calls:.2f}x calls",
+                f"{seed_wall / fast_wall:.2f}x wall",
+            ],
+        ],
+    )
+
+
+def test_write_bench_json():
+    # Runs after the parametrized cases (pytest preserves file order).
+    assert set(_results) == set(KERNELS)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(_results, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -16,8 +16,8 @@ from typing import List, Optional, Tuple
 from ..codegen.plan import KernelPlan, ProgramPlan, STREAM_NONE, STREAM_SERIAL
 from ..codegen.generator import schedule_tflops
 from ..gpu.device import DeviceSpec, P100
-from ..gpu.simulator import PlanInfeasible, simulate
 from ..ir.stencil import ProgramIR
+from ..tuning.evaluator import PlanEvaluator
 from ..tuning.hierarchical import HierarchicalTuner
 
 
@@ -37,25 +37,31 @@ def _tuned_schedule(
     seed: KernelPlan,
     device: DeviceSpec,
     use_unrolling: bool = True,
+    evaluator: Optional[PlanEvaluator] = None,
 ) -> ProgramPlan:
     plans: List[KernelPlan] = []
     for instance in ir.kernels:
         base = seed.replace(kernel_names=(instance.name,))
         tuner = HierarchicalTuner(
-            ir, device=device, use_unrolling=use_unrolling
+            ir, device=device, use_unrolling=use_unrolling,
+            evaluator=evaluator,
         )
         plans.append(tuner.tune(base).best_plan)
     return ProgramPlan(plans=tuple(plans))
 
 
-def run_global(ir: ProgramIR, device: DeviceSpec = P100) -> BaselineResult:
+def run_global(
+    ir: ProgramIR,
+    device: DeviceSpec = P100,
+    evaluator: Optional[PlanEvaluator] = None,
+) -> BaselineResult:
     """Tuned 3-D tiled global-memory version."""
     seed = KernelPlan(
         kernel_names=(ir.kernels[0].name,),
         block=(4, 4, 16),
         streaming=STREAM_NONE,
     )
-    schedule = _tuned_schedule(ir, seed, device)
+    schedule = _tuned_schedule(ir, seed, device, evaluator=evaluator)
     return BaselineResult(
         label="global",
         tflops=schedule_tflops(ir, schedule, device),
@@ -64,7 +70,9 @@ def run_global(ir: ProgramIR, device: DeviceSpec = P100) -> BaselineResult:
 
 
 def run_global_stream(
-    ir: ProgramIR, device: DeviceSpec = P100
+    ir: ProgramIR,
+    device: DeviceSpec = P100,
+    evaluator: Optional[PlanEvaluator] = None,
 ) -> BaselineResult:
     """Tuned streaming global-memory version (no shared memory)."""
     seed = KernelPlan(
@@ -73,7 +81,7 @@ def run_global_stream(
         streaming=STREAM_SERIAL,
         stream_axis=0,
     )
-    schedule = _tuned_schedule(ir, seed, device)
+    schedule = _tuned_schedule(ir, seed, device, evaluator=evaluator)
     return BaselineResult(
         label="global-stream",
         tflops=schedule_tflops(ir, schedule, device),

@@ -20,12 +20,13 @@ choices:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..codegen.plan import KernelPlan, ProgramPlan, STREAM_NONE
 from ..gpu.device import DeviceSpec, P100
-from ..gpu.simulator import PlanInfeasible, simulate
+from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
+from ..tuning.evaluator import PlanEvaluator
 from ..tuning.fusion import maxfuse
 from .naive import BaselineResult
 
@@ -43,47 +44,59 @@ def guard_overhead(ir: ProgramIR) -> float:
     return min(GUARD_OVERHEAD_CAP, GUARD_OVERHEAD_PER_STATEMENT * statements)
 
 
-def run_ppcg(ir: ProgramIR, device: DeviceSpec = P100) -> BaselineResult:
+def run_ppcg(
+    ir: ProgramIR,
+    device: DeviceSpec = P100,
+    evaluator: Optional[PlanEvaluator] = None,
+) -> BaselineResult:
     """Simulate the PPCG strategy on a program."""
+    # PPCG emits whatever its heuristics pick — there is no planner
+    # feasibility screen, so the evaluator only skips mappings the
+    # device itself rejects.
+    engine = evaluator or PlanEvaluator(device=device, validate=False)
     fused = maxfuse(ir, name="ppcg_fused")
-    result = _run_on(fused, device)
+    result = _run_on(fused, engine)
     if not result.supported and len(fused.kernels) < len(ir.kernels):
         # The fused mapping does not fit the device; PPCG falls back to
         # per-loop-nest kernels.
-        result = _run_on(ir, device)
+        result = _run_on(ir, engine)
     return result
 
 
-def _run_on(fused: ProgramIR, device: DeviceSpec) -> BaselineResult:
+def _run_on(fused: ProgramIR, engine: PlanEvaluator) -> BaselineResult:
     overhead = 1.0 + guard_overhead(fused)
 
     total_time = 0.0
     useful = 0.0
     plans: List[KernelPlan] = []
     for instance in fused.kernels:
+        candidates = [
+            KernelPlan(
+                kernel_names=(instance.name,),
+                block=block,
+                streaming=STREAM_NONE,
+                unroll=unroll,
+                unroll_blocked=False,  # PPCG strip-mines cyclically
+                max_registers=regs,
+            )
+            for block in _BLOCKS
+            for unroll in _UNROLLS
+            for regs in (64, 128, 255)
+        ]
+        results = engine.evaluate_batch(
+            fused, candidates, catch=(PlanInfeasible,)
+        )
         best_time = None
         best_plan = None
         best_useful = 0.0
-        for block in _BLOCKS:
-            for unroll in _UNROLLS:
-                for regs in (64, 128, 255):
-                    plan = KernelPlan(
-                        kernel_names=(instance.name,),
-                        block=block,
-                        streaming=STREAM_NONE,
-                        unroll=unroll,
-                        unroll_blocked=False,  # PPCG strip-mines cyclically
-                        max_registers=regs,
-                    )
-                    try:
-                        sim = simulate(fused, plan, device)
-                    except PlanInfeasible:
-                        continue
-                    time_s = sim.time_s * overhead
-                    if best_time is None or time_s < best_time:
-                        best_time = time_s
-                        best_plan = plan
-                        best_useful = sim.counters.useful_flops
+        for plan, sim in zip(candidates, results):
+            if sim is None:
+                continue
+            time_s = sim.time_s * overhead
+            if best_time is None or time_s < best_time:
+                best_time = time_s
+                best_plan = plan
+                best_useful = sim.counters.useful_flops
         if best_time is None:
             return BaselineResult(
                 label="ppcg",

@@ -74,9 +74,21 @@ def cmd_optimize(args) -> int:
         device=_device(args.device),
         iterations=args.iterations,
         top_k=args.top_k,
+        workers=args.workers,
     )
     print(format_report(outcome, _device(args.device)))
+    if args.eval_stats and outcome.eval_stats is not None:
+        _print_eval_stats(outcome.eval_stats)
     return 0
+
+
+def _print_eval_stats(stats) -> None:
+    print("\nevaluation engine statistics:")
+    for name, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"  {name:20s} {value:.6f}")
+        else:
+            print(f"  {name:20s} {value}")
 
 
 def cmd_cuda(args) -> int:
@@ -129,7 +141,11 @@ def cmd_deep_tune(args) -> int:
         from .tuning.fusion import maxfuse
 
         ir = maxfuse(ir)
-    result = deep_tune(ir, device=_device(args.device))
+    result = deep_tune(
+        ir, device=_device(args.device), workers=args.workers
+    )
+    if args.eval_stats and result.eval_stats is not None:
+        _print_eval_stats(result.eval_stats)
     for entry in result.entries:
         marker = (
             "  <-- tipping point"
@@ -167,11 +183,23 @@ def build_parser() -> argparse.ArgumentParser:
     ))
     p.set_defaults(func=cmd_characteristics)
 
+    def add_eval_flags(p):
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="threads for parallel candidate evaluation",
+        )
+        p.add_argument(
+            "--eval-stats", action="store_true",
+            help="print evaluation-engine cache/throughput statistics",
+        )
+        return p
+
     p = add_common(sub.add_parser("optimize", help="run the full flow"))
     p.add_argument("-T", "--iterations", type=int, default=None,
                    help="time-iteration count for iterative stencils")
     p.add_argument("--top-k", type=int, default=4,
                    help="stage-1 survivors carried into stage 2")
+    add_eval_flags(p)
     p.set_defaults(func=cmd_optimize)
 
     p = add_common(sub.add_parser("cuda", help="emit the baseline CUDA"))
@@ -187,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         "deep-tune", help="deep-tune an iterative stencil"
     ))
     p.add_argument("-T", "--iterations", type=int, default=12)
+    add_eval_flags(p)
     p.set_defaults(func=cmd_deep_tune)
 
     return parser

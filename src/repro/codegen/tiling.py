@@ -22,6 +22,7 @@ from ..ir.analysis import (
     access_patterns,
     internal_reach,
     kernel_flops_per_point,
+    memoized_kv,
     read_halos,
 )
 from ..ir.folding import apply_folding
@@ -36,6 +37,79 @@ from .plan import (
 )
 
 Halo = Tuple[Tuple[int, int], ...]  # per-axis (lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# plan-family memoization
+#
+# Every geometric quantity below is a pure function of (IR, plan) — and
+# none of them depend on ``plan.max_registers``, so all the register-
+# escalation rungs of one candidate share the same *plan family* and the
+# same cached geometry.  Results are keyed by IR identity (strong ref
+# held, as in ir.analysis) plus the canonical register-independent plan
+# key.  The cache can be disabled wholesale (benchmarks compare against
+# the uncached seed path; tests verify cached == uncached).
+# ---------------------------------------------------------------------------
+
+_PLAN_MEMO: dict = {}
+_PLAN_MEMO_ENABLED = True
+
+
+def plan_family_key(plan: KernelPlan) -> tuple:
+    """Canonical identity of a plan with ``max_registers`` factored out.
+
+    Two plans with equal family keys describe the same generated code
+    shape — geometry, stages, buffers, shared memory and register
+    *demand* are all identical; only the compile-time register cap (and
+    therefore spilling and occupancy) may differ.
+    """
+    return (
+        plan.kernel_names,
+        plan.block,
+        plan.time_tile,
+        plan.streaming,
+        plan.stream_axis,
+        plan.concurrent_chunks,
+        plan.unroll,
+        plan.unroll_blocked,
+        plan.prefetch,
+        plan.perspective,
+        plan.placements,
+        plan.retime,
+        plan.fold_groups,
+    )
+
+
+def _plan_memoized(tag: str, ir: ProgramIR, plan: KernelPlan, compute,
+                   extra: tuple = ()):
+    if not _PLAN_MEMO_ENABLED:
+        return compute()
+    key = (tag, id(ir), plan_family_key(plan)) + extra
+    hit = _PLAN_MEMO.get(key)
+    if hit is not None and hit[0] is ir:
+        return hit[1]
+    value = compute()
+    _PLAN_MEMO[key] = (ir, value)
+    return value
+
+
+def set_plan_cache_enabled(enabled: bool) -> None:
+    """Toggle the (ir, plan-family) geometry cache; clears it on change."""
+    global _PLAN_MEMO_ENABLED
+    _PLAN_MEMO_ENABLED = bool(enabled)
+    _PLAN_MEMO.clear()
+
+
+def plan_cache_enabled() -> bool:
+    return _PLAN_MEMO_ENABLED
+
+
+def clear_plan_cache() -> None:
+    _PLAN_MEMO.clear()
+
+
+def plan_cache_size() -> int:
+    return len(_PLAN_MEMO)
 
 
 @dataclass(frozen=True)
@@ -68,7 +142,16 @@ def build_stages(ir: ProgramIR, plan: KernelPlan) -> List[Stage]:
     times; DAG fusion uses the instances in order.  Halos accumulate
     backwards: an earlier stage must compute a region expanded by the
     total halo of everything after it (overlapped tiling).
+
+    Memoized per (IR, plan family): every register rung, simulation and
+    code-generation query of one candidate shares the same Stage objects.
     """
+    return list(
+        _plan_memoized("stages", ir, plan, lambda: _build_stages(ir, plan))
+    )
+
+
+def _build_stages(ir: ProgramIR, plan: KernelPlan) -> List[Stage]:
     instances = planned_instances(ir, plan)
     if plan.time_tile > 1:
         if len(instances) != 1:
@@ -120,6 +203,13 @@ class LaunchGeometry:
 
 
 def launch_geometry(ir: ProgramIR, plan: KernelPlan) -> LaunchGeometry:
+    """Block decomposition of a plan (memoized per IR + plan family)."""
+    return _plan_memoized(
+        "geometry", ir, plan, lambda: _launch_geometry(ir, plan)
+    )
+
+
+def _launch_geometry(ir: ProgramIR, plan: KernelPlan) -> LaunchGeometry:
     domain = ir.domain_shape()
     ndim = len(domain)
     tile: List[int] = []
@@ -203,7 +293,27 @@ def read_footprint(
     geometry: LaunchGeometry,
     array: str,
 ) -> int:
-    """Elements of ``array`` one block reads at ``stage`` (unique)."""
+    """Elements of ``array`` one block reads at ``stage`` (unique).
+
+    ``stage`` and ``geometry`` are derived from (ir, plan), so the result
+    is memoized per (IR, plan family, stage index, array).
+    """
+    return _plan_memoized(
+        "footprint",
+        ir,
+        plan,
+        lambda: _read_footprint(ir, plan, stage, geometry, array),
+        extra=(stage.index, array),
+    )
+
+
+def _read_footprint(
+    ir: ProgramIR,
+    plan: KernelPlan,
+    stage: Stage,
+    geometry: LaunchGeometry,
+    array: str,
+) -> int:
     halos = read_halos(ir, stage.instance)
     if array not in halos:
         return 0
@@ -297,8 +407,18 @@ def buffer_requirements(
     Honours the plan's placements (which include any user ``#assign``
     constraints folded in by resource assignment).  Streaming plans get
     the shm/register plane split of Listing 2; non-streaming shmem plans
-    buffer the full input tile.
+    buffer the full input tile.  Memoized per (IR, plan family).
     """
+    return dict(
+        _plan_memoized(
+            "buffers", ir, plan, lambda: _buffer_requirements(ir, plan)
+        )
+    )
+
+
+def _buffer_requirements(
+    ir: ProgramIR, plan: KernelPlan
+) -> Dict[str, BufferSpec]:
     geometry = launch_geometry(ir, plan)
     stages = build_stages(ir, plan)
     ndim = ir.ndim
@@ -416,7 +536,16 @@ def intermediate_specs(
     pattern), only the centre plane needs shared memory and the rest sit
     in per-thread registers — the same Listing-2 split as for inputs.
     Retimed kernels accumulate in registers instead (no shared planes).
+    Memoized per (IR, plan family).
     """
+    return _plan_memoized(
+        "inter_specs", ir, plan, lambda: _intermediate_specs(ir, plan)
+    )
+
+
+def _intermediate_specs(
+    ir: ProgramIR, plan: KernelPlan
+) -> Tuple[IntermediateSpec, ...]:
     stages = build_stages(ir, plan)
     if len(stages) <= 1:
         return ()
@@ -504,14 +633,22 @@ def intermediate_buffer_bytes(ir: ProgramIR, plan: KernelPlan) -> int:
 
 
 def distinct_read_offsets(ir: ProgramIR, instance: StencilInstance, array: str):
-    """Distinct per-axis read offset vectors of ``array`` in a kernel."""
-    seen: List[Tuple] = []
-    for pattern in access_patterns(ir, instance):
-        if pattern.array != array or pattern.is_write:
-            continue
-        if pattern.axis_offsets not in seen:
-            seen.append(pattern.axis_offsets)
-    return seen
+    """Distinct per-axis read offset vectors of ``array`` in a kernel.
+
+    Memoized per (instance identity, array) — the simulator and register
+    model ask for this thousands of times per tuning run.
+    """
+
+    def compute():
+        seen: List[Tuple] = []
+        for pattern in access_patterns(ir, instance):
+            if pattern.array != array or pattern.is_write:
+                continue
+            if pattern.axis_offsets not in seen:
+                seen.append(pattern.axis_offsets)
+        return seen
+
+    return list(memoized_kv("distinct_offsets", instance, array, compute))
 
 
 def gmem_loads_per_point(
@@ -526,7 +663,21 @@ def gmem_loads_per_point(
     realizes this CSE along one axis at a time in practice (the paper's
     texture counters for complex kernels show near-zero cross-axis
     reuse), so the combined reduction is floored.
+
+    Memoized per (instance, unroll configuration, array) — only the
+    plan's unroll fields participate in the result.
     """
+    return memoized_kv(
+        "gmem_loads",
+        instance,
+        (plan.unroll, plan.unroll_blocked, array),
+        lambda: _gmem_loads_per_point(ir, plan, instance, array),
+    )
+
+
+def _gmem_loads_per_point(
+    ir: ProgramIR, plan: KernelPlan, instance: StencilInstance, array: str
+) -> float:
     offsets = distinct_read_offsets(ir, instance, array)
     if not offsets:
         return 0.0
@@ -584,7 +735,13 @@ def pingpong_pair(ir: ProgramIR, instance: StencilInstance) -> Tuple[str, str]:
 def intra_staging_bytes(ir: ProgramIR, plan: KernelPlan) -> int:
     """Shared memory for values produced and consumed *within* one
     kernel (fused-DAG temporaries): a stream window under streaming, the
-    full expanded tile otherwise."""
+    full expanded tile otherwise.  Memoized per (IR, plan family)."""
+    return _plan_memoized(
+        "intra_staging", ir, plan, lambda: _intra_staging_bytes(ir, plan)
+    )
+
+
+def _intra_staging_bytes(ir: ProgramIR, plan: KernelPlan) -> int:
     geometry = launch_geometry(ir, plan)
     total = 0
     for stage in build_stages(ir, plan):
@@ -617,8 +774,18 @@ def intra_staging_bytes(ir: ProgramIR, plan: KernelPlan) -> int:
 
 
 def shmem_bytes_per_block(ir: ProgramIR, plan: KernelPlan) -> int:
-    """Total static shared memory one block of this plan allocates."""
-    total = sum(spec.shm_bytes for spec in buffer_requirements(ir, plan).values())
-    total += intermediate_buffer_bytes(ir, plan)
-    total += intra_staging_bytes(ir, plan)
-    return total
+    """Total static shared memory one block of this plan allocates.
+
+    Memoized per (IR, plan family) — shared memory does not depend on
+    the register cap.
+    """
+
+    def compute():
+        total = sum(
+            spec.shm_bytes for spec in buffer_requirements(ir, plan).values()
+        )
+        total += intermediate_buffer_bytes(ir, plan)
+        total += intra_staging_bytes(ir, plan)
+        return total
+
+    return _plan_memoized("shmem_bytes", ir, plan, compute)

@@ -75,7 +75,22 @@ def _expression_registers(instance: StencilInstance) -> int:
 
 
 def register_demand(ir: ProgramIR, plan: KernelPlan) -> int:
-    """Estimated registers per thread for a plan, before capping."""
+    """Estimated registers per thread for a plan, before capping.
+
+    The estimate never reads ``plan.max_registers`` — demand is a
+    property of the plan *family*, which is what lets the evaluation
+    engine collapse the register-escalation ladder to a single
+    simulation (the cap is applied afterwards by
+    :func:`compiled_registers`).  Memoized per (IR, plan family).
+    """
+    from ..codegen.tiling import _plan_memoized
+
+    return _plan_memoized(
+        "reg_demand", ir, plan, lambda: _register_demand(ir, plan)
+    )
+
+
+def _register_demand(ir: ProgramIR, plan: KernelPlan) -> int:
     stages = build_stages(ir, plan)
     buffers = buffer_requirements(ir, plan)
 

@@ -34,6 +34,7 @@ from ..codegen.plan import KernelPlan, PERSPECTIVE_OUTPUT
 from ..codegen.tiling import (
     LaunchGeometry,
     Stage,
+    _plan_memoized,
     build_stages,
     buffer_requirements,
     distinct_read_offsets,
@@ -51,7 +52,6 @@ from ..ir.types import sizeof
 from .counters import KernelCounters, SimulationResult, TimingBreakdown
 from .device import DeviceSpec, P100
 from .occupancy import OccupancyResult, occupancy
-from .registers import compiled_registers
 
 
 class PlanInfeasible(ValueError):
@@ -67,25 +67,116 @@ SPILL_ACCESS_RATE = 1.0
 INTER_BLOCK_L2_FACTOR = 0.5
 
 
-def simulate(
-    ir: ProgramIR, plan: KernelPlan, device: DeviceSpec = P100
-) -> SimulationResult:
-    """Simulate one launch of ``plan`` over the whole domain."""
-    geometry = launch_geometry(ir, plan)
-    stages = build_stages(ir, plan)
-    buffers = buffer_requirements(ir, plan)
+#: Count of full `simulate` invocations since process start (or the last
+#: reset).  The evaluation engine's regression tests and benchmarks use
+#: this to prove memoization actually removes simulations.
+_SIMULATE_CALLS = 0
 
-    regs = compiled_registers(ir, plan)
+
+def simulate_call_count() -> int:
+    """Total :func:`simulate` invocations since start / last reset."""
+    return _SIMULATE_CALLS
+
+
+def reset_simulate_calls() -> int:
+    """Zero the call counter, returning the previous value."""
+    global _SIMULATE_CALLS
+    previous = _SIMULATE_CALLS
+    _SIMULATE_CALLS = 0
+    return previous
+
+
+@dataclass(frozen=True)
+class PlanPrefix:
+    """The register-independent prefix of a simulation.
+
+    Everything here is a pure function of (IR, plan family): launch
+    geometry, the fused stage list, buffer layouts, shared-memory bytes
+    and uncapped register demand.  The four rungs of the register-
+    escalation ladder (32/64/128/255) share one prefix; only occupancy,
+    spill traffic and timing — the cheap suffix — depend on the cap.
+    """
+
+    geometry: LaunchGeometry
+    stages: Tuple[Stage, ...]
+    buffers: Dict[str, "object"]
+    shmem: int
+    reg_demand: int
+    live_bytes_per_block: float
+    intermediates: frozenset
+    inter_by_consumer: Dict[Tuple[int, str], "object"]
+    externally_visible: frozenset
+
+
+def plan_prefix(ir: ProgramIR, plan: KernelPlan) -> PlanPrefix:
+    """Register-independent analysis of a plan (memoized per family)."""
+    return _plan_memoized(
+        "sim_prefix", ir, plan, lambda: _plan_prefix(ir, plan)
+    )
+
+
+def _plan_prefix(ir: ProgramIR, plan: KernelPlan) -> PlanPrefix:
+    geometry = launch_geometry(ir, plan)
+    stages = tuple(build_stages(ir, plan))
+    buffers = buffer_requirements(ir, plan)
     shmem = shmem_bytes_per_block(ir, plan)
+    from .registers import register_demand
+
+    demand = register_demand(ir, plan)
+    return PlanPrefix(
+        geometry=geometry,
+        stages=stages,
+        buffers=buffers,
+        shmem=shmem,
+        reg_demand=demand,
+        live_bytes_per_block=_live_bytes_per_block(
+            ir, plan, geometry, stages, buffers
+        ),
+        intermediates=frozenset(_intermediate_arrays(ir, plan, stages)),
+        inter_by_consumer={
+            (spec.stage_index + 1, spec.array): spec
+            for spec in intermediate_specs(ir, plan)
+        },
+        externally_visible=frozenset(_externally_visible(ir, plan)),
+    )
+
+
+def plan_occupancy(
+    ir: ProgramIR, plan: KernelPlan, device: DeviceSpec = P100
+) -> OccupancyResult:
+    """The launch-feasibility screen of :func:`simulate`, on its own.
+
+    Computes occupancy from the memoized register-independent prefix
+    plus the plan's register cap — the same arithmetic, raising the same
+    :class:`PlanInfeasible`, as the corresponding step inside
+    :func:`simulate`, but without paying for counters and timing.  The
+    evaluation engine uses this to reject launch-infeasible candidates
+    from the cheap suffix alone.
+    """
+    pre = plan_prefix(ir, plan)
+    compiled = min(pre.reg_demand, plan.max_registers)
     try:
-        occ = occupancy(
-            device, geometry.threads_per_block, regs["compiled"], shmem
+        return occupancy(
+            device, pre.geometry.threads_per_block, compiled, pre.shmem
         )
     except ValueError as exc:
         raise PlanInfeasible(str(exc)) from exc
 
-    counters = _count(ir, plan, device, geometry, stages, buffers, regs, shmem, occ)
-    timing = _time(ir, plan, device, geometry, counters, occ)
+
+def simulate(
+    ir: ProgramIR, plan: KernelPlan, device: DeviceSpec = P100
+) -> SimulationResult:
+    """Simulate one launch of ``plan`` over the whole domain."""
+    global _SIMULATE_CALLS
+    _SIMULATE_CALLS += 1
+    pre = plan_prefix(ir, plan)
+    regs = {
+        "demand": pre.reg_demand,
+        "compiled": min(pre.reg_demand, plan.max_registers),
+    }
+    occ = plan_occupancy(ir, plan, device)
+    counters = _count(ir, plan, device, pre, regs, occ)
+    timing = _time(ir, plan, device, pre.geometry, counters, occ)
     return SimulationResult(counters=counters, occupancy=occ, timing=timing)
 
 
@@ -105,13 +196,14 @@ def _count(
     ir: ProgramIR,
     plan: KernelPlan,
     device: DeviceSpec,
-    geometry: LaunchGeometry,
-    stages: List[Stage],
-    buffers,
+    pre: PlanPrefix,
     regs: Dict[str, int],
-    shmem: int,
     occ: OccupancyResult,
 ) -> KernelCounters:
+    geometry = pre.geometry
+    stages = pre.stages
+    buffers = pre.buffers
+    shmem = pre.shmem
     blocks = geometry.blocks
     domain_points = _domain_points(geometry)
     esize = 8  # evaluation suite is double precision; per-array dtype below
@@ -123,20 +215,16 @@ def _count(
     dram_write = 0.0
     shm_bytes = 0.0
 
-    live_bytes_per_block = _live_bytes_per_block(ir, plan, geometry, stages, buffers)
     active_blocks = max(1, occ.blocks_per_sm * device.sms)
-    working_set = active_blocks * max(live_bytes_per_block, 1)
+    working_set = active_blocks * max(pre.live_bytes_per_block, 1)
     p_intra = min(1.0, device.l2_cache_bytes / working_set)
     p_inter = INTER_BLOCK_L2_FACTOR * p_intra
 
-    intermediates = _intermediate_arrays(ir, plan, stages)
+    intermediates = pre.intermediates
     # Inter-stage buffer specs, keyed by (consumer stage index, array).
-    inter_by_consumer = {
-        (spec.stage_index + 1, spec.array): spec
-        for spec in intermediate_specs(ir, plan)
-    }
+    inter_by_consumer = pre.inter_by_consumer
 
-    externally_visible = _externally_visible(ir, plan)
+    externally_visible = pre.externally_visible
 
     for stage in stages:
         instance = stage.instance

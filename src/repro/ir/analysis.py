@@ -45,6 +45,32 @@ def _memoized(tag: str, obj, compute):
     _MEMO[key] = (obj, value)
     return value
 
+
+def memoized_kv(tag: str, obj, key, compute):
+    """Identity-keyed memoization with an extra hashable sub-key.
+
+    Like :func:`_memoized` but for analyses parameterized beyond the
+    object itself (e.g. per-array or per-plan-shape results).  ``key``
+    must be hashable and, together with ``tag`` and the object identity,
+    fully determine the computed value.
+    """
+    full = (tag, id(obj), key)
+    hit = _MEMO.get(full)
+    if hit is not None and hit[0] is obj:
+        return hit[1]
+    value = compute()
+    _MEMO[full] = (obj, value)
+    return value
+
+
+def clear_analysis_cache() -> None:
+    """Drop every memoized analysis result (tests / memory pressure)."""
+    _MEMO.clear()
+
+
+def analysis_cache_size() -> int:
+    return len(_MEMO)
+
 #: FLOP cost charged per intrinsic call (conventional single-op counting).
 CALL_FLOPS = {
     "sqrt": 1,
@@ -183,21 +209,29 @@ def _read_halos(
 
 def combined_halo(ir: ProgramIR, instance: StencilInstance) -> Tuple[Tuple[int, int], ...]:
     """Union of read halos across all arrays, per axis."""
-    combined = [[0, 0] for _ in range(ir.ndim)]
-    for per_axis in read_halos(ir, instance).values():
-        for axis, (lo, hi) in enumerate(per_axis):
-            combined[axis][0] = max(combined[axis][0], lo)
-            combined[axis][1] = max(combined[axis][1], hi)
-    return tuple((lo, hi) for lo, hi in combined)
+
+    def compute():
+        combined = [[0, 0] for _ in range(ir.ndim)]
+        for per_axis in read_halos(ir, instance).values():
+            for axis, (lo, hi) in enumerate(per_axis):
+                combined[axis][0] = max(combined[axis][0], lo)
+                combined[axis][1] = max(combined[axis][1], hi)
+        return tuple((lo, hi) for lo, hi in combined)
+
+    return _memoized("combined_halo", instance, compute)
 
 
 def stencil_order(ir: ProgramIR, instance: StencilInstance) -> int:
     """Stencil order k: max |offset| over all read accesses (paper, §I)."""
-    order = 0
-    for pattern in access_patterns(ir, instance):
-        if not pattern.is_write:
-            order = max(order, pattern.max_abs_offset())
-    return order
+
+    def compute():
+        order = 0
+        for pattern in access_patterns(ir, instance):
+            if not pattern.is_write:
+                order = max(order, pattern.max_abs_offset())
+        return order
+
+    return _memoized("order", instance, compute)
 
 
 def program_order(ir: ProgramIR) -> int:

@@ -34,7 +34,12 @@ from ..tuning.deeptuning import (
     fusion_schedule,
     schedule_to_program_plan,
 )
-from ..tuning.fission import FissionCandidate, generate_fission_candidates
+from ..tuning.evaluator import EvalStats, PlanEvaluator
+from ..tuning.fission import (
+    FissionCandidate,
+    dedupe_candidates,
+    generate_fission_candidates,
+)
 from ..tuning.hierarchical import HierarchicalTuner
 
 
@@ -51,6 +56,7 @@ class OptimizationOutcome:
     deep_tuning: Optional[DeepTuningResult] = None
     fission_candidates: Tuple[FissionCandidate, ...] = ()
     evaluations: int = 0
+    eval_stats: Optional[EvalStats] = None
 
 
 def optimize(
@@ -59,11 +65,35 @@ def optimize(
     iterations: Optional[int] = None,
     explore_fission: bool = True,
     top_k: int = 4,
+    evaluator: Optional[PlanEvaluator] = None,
+    workers: Optional[int] = None,
 ) -> OptimizationOutcome:
-    """Run the end-to-end ARTEMIS optimization flow."""
+    """Run the end-to-end ARTEMIS optimization flow.
+
+    One :class:`PlanEvaluator` is shared by every tuning phase of the
+    run (per-kernel tuning, fused/fission/global alternatives, deep
+    tuning), so any plan the flow revisits is a memo-cache hit.
+    ``workers`` fans candidate batches out over that many threads.
+    """
     ir = lower(source_or_ir)
+    engine = evaluator or PlanEvaluator(device=device, workers=workers)
+    stats_before = engine.stats.snapshot()
+    outcome = _optimize(ir, engine, iterations, explore_fission, top_k)
+    from dataclasses import replace
+
+    return replace(outcome, eval_stats=engine.stats.since(stats_before))
+
+
+def _optimize(
+    ir: ProgramIR,
+    engine: PlanEvaluator,
+    iterations: Optional[int],
+    explore_fission: bool,
+    top_k: int,
+) -> OptimizationOutcome:
+    device = engine.device
     if ir.is_iterative and len(ir.kernels) == 1:
-        return _optimize_iterative(ir, device, iterations, top_k)
+        return _optimize_iterative(ir, device, iterations, top_k, engine)
     if ir.is_iterative:
         # Multi-statement iterative DAGs (e.g. denoise): fuse the DAG
         # into one kernel, deep-tune the time dimension, and keep the
@@ -71,18 +101,18 @@ def optimize(
         from ..tuning.fusion import maxfuse
 
         fused = maxfuse(ir)
-        spatial = _optimize_spatial(ir, device, explore_fission, top_k)
+        spatial = _optimize_spatial(ir, device, explore_fission, top_k, engine)
         if len(fused.kernels) == 1:
             try:
                 fused_outcome = _optimize_iterative(
-                    fused, device, iterations, top_k
+                    fused, device, iterations, top_k, engine
                 )
             except (PlanInfeasible, ValueError):
                 return spatial
             if fused_outcome.tflops > spatial.tflops:
                 return fused_outcome
         return spatial
-    return _optimize_spatial(ir, device, explore_fission, top_k)
+    return _optimize_spatial(ir, device, explore_fission, top_k, engine)
 
 
 # ---------------------------------------------------------------------------
@@ -95,9 +125,10 @@ def _optimize_iterative(
     device: DeviceSpec,
     iterations: Optional[int],
     top_k: int,
+    evaluator: Optional[PlanEvaluator] = None,
 ) -> OptimizationOutcome:
     steps = iterations if iterations is not None else ir.time_iterations
-    deep = deep_tune(ir, device=device, top_k=top_k)
+    deep = deep_tune(ir, device=device, top_k=top_k, evaluator=evaluator)
     schedule = fusion_schedule(deep, steps)
     program_plan = schedule_to_program_plan(deep, schedule)
     tflops = schedule_tflops(ir, program_plan, device)
@@ -127,8 +158,11 @@ def _optimize_spatial(
     device: DeviceSpec,
     explore_fission: bool,
     top_k: int,
+    evaluator: Optional[PlanEvaluator] = None,
 ) -> OptimizationOutcome:
-    schedule, advice_list, evaluations = _tune_kernels(ir, device, top_k)
+    schedule, advice_list, evaluations = _tune_kernels(
+        ir, device, top_k, evaluator=evaluator
+    )
     best_tflops = schedule_tflops(ir, schedule, device)
     best = OptimizationOutcome(
         ir=ir,
@@ -153,7 +187,7 @@ def _optimize_spatial(
         if len(fused_ir.kernels) < len(ir.kernels):
             try:
                 f_schedule, f_advice, f_evals = _tune_kernels(
-                    fused_ir, device, top_k
+                    fused_ir, device, top_k, evaluator=evaluator
                 )
                 f_tflops = schedule_tflops(fused_ir, f_schedule, device)
                 if f_tflops > best.tflops:
@@ -173,14 +207,14 @@ def _optimize_spatial(
 
     if explore_fission and wants_fission:
         candidates = generate_fission_candidates(ir)
-        for candidate in candidates:
+        for candidate in dedupe_candidates(candidates):
             if candidate.label == "maxfuse" and len(candidate.ir.kernels) == len(
                 ir.kernels
             ):
                 continue  # identical to the input
             try:
                 cand_schedule, cand_advice, cand_evals = _tune_kernels(
-                    candidate.ir, device, top_k
+                    candidate.ir, device, top_k, evaluator=evaluator
                 )
             except PlanInfeasible:
                 continue
@@ -200,7 +234,7 @@ def _optimize_spatial(
 
     if wants_global:
         global_schedule, _, g_evals = _tune_kernels(
-            ir, device, top_k, force_gmem=True
+            ir, device, top_k, force_gmem=True, evaluator=evaluator
         )
         g_tflops = schedule_tflops(ir, global_schedule, device)
         if g_tflops > best.tflops:
@@ -234,6 +268,7 @@ def _tune_kernels(
     device: DeviceSpec,
     top_k: int,
     force_gmem: bool = False,
+    evaluator: Optional[PlanEvaluator] = None,
 ):
     """Profile-advise-tune every kernel of a program."""
     plans: List[KernelPlan] = []
@@ -262,6 +297,7 @@ def _tune_kernels(
             use_register_opts=kernel_advice.use_register_opts,
             bandwidth_bound=not kernel_advice.bottleneck.compute_bound(),
             top_k=top_k,
+            evaluator=evaluator,
         )
         if not kernel_advice.use_shared_memory:
             seed = seed.replace(

@@ -27,6 +27,17 @@ def format_report(
     lines.append(f"variant chosen : {outcome.variant}")
     lines.append(f"performance    : {outcome.tflops:.3f} TFLOPS (simulated)")
     lines.append(f"evaluations    : {outcome.evaluations}")
+    if outcome.eval_stats is not None:
+        stats = outcome.eval_stats
+        lines.append(
+            f"eval engine    : {stats.requests} requests, "
+            f"{stats.hits} cache hits, {stats.simulations} simulated, "
+            f"{stats.rungs_skipped} escalation rungs skipped"
+        )
+        lines.append(
+            f"                 {stats.simulations_avoided} simulations "
+            f"avoided, {stats.wall_s * 1e3:.1f} ms in evaluation"
+        )
     lines.append("")
     lines.append("launches:")
     for plan, count in zip(outcome.schedule.plans, outcome.schedule.counts):

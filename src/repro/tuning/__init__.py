@@ -9,8 +9,15 @@ from .deeptuning import (
     fusion_schedule,
     schedule_to_program_plan,
 )
+from .evaluator import (
+    EvalStats,
+    PlanEvaluator,
+    evaluation_caches_disabled,
+    plan_fingerprint,
+)
 from .fission import (
     FissionCandidate,
+    dedupe_candidates,
     export_dsl,
     generate_fission_candidates,
     recompute_fission,
@@ -32,14 +39,19 @@ from .space import (
 __all__ = [
     "DeepTuningEntry",
     "DeepTuningResult",
+    "EvalStats",
     "FissionCandidate",
     "FusionSchedule",
     "HierarchicalTuner",
     "MAX_FUSION_DEGREE",
     "Measurement",
+    "PlanEvaluator",
     "SearchSpace",
     "TuningResult",
+    "dedupe_candidates",
     "deep_tune",
+    "evaluation_caches_disabled",
+    "plan_fingerprint",
     "exhaustive_space_size",
     "export_dsl",
     "fuse_instances",

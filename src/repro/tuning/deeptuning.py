@@ -20,10 +20,11 @@ from typing import Dict, List, Optional, Tuple
 from ..codegen.plan import KernelPlan, ProgramPlan
 from ..codegen.resources import auto_assign, seed_plan_from_pragma
 from ..gpu.device import DeviceSpec, P100
-from ..gpu.simulator import PlanInfeasible, simulate
+from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
 from ..profiling.roofline import classify_result
-from .hierarchical import HierarchicalTuner, Measurement, TuningResult
+from .evaluator import EvalStats, Measurement, PlanEvaluator
+from .hierarchical import HierarchicalTuner, TuningResult
 
 #: Hard cap on explored fusion degrees ("usually k <= 4 for most order-1
 #: stencils, and much smaller for high-order stencils").
@@ -54,6 +55,7 @@ class DeepTuningResult:
 
     entries: Tuple[DeepTuningEntry, ...]
     evaluations: int
+    eval_stats: Optional[EvalStats] = None
 
     @property
     def k(self) -> int:
@@ -87,31 +89,43 @@ def deep_tune(
     max_degree: int = MAX_FUSION_DEGREE,
     use_register_opts: bool = True,
     top_k: int = 4,
+    evaluator: Optional[PlanEvaluator] = None,
+    workers: Optional[int] = None,
 ) -> DeepTuningResult:
-    """Tune fusion degrees 1, 2, ... while profiling says fusion helps."""
+    """Tune fusion degrees 1, 2, ... while profiling says fusion helps.
+
+    A single evaluation engine is shared across the degree sweep, so
+    plans revisited between degrees (and the post-tune profiling
+    simulation of each winner) are served from the memo cache.
+    """
     if not ir.is_iterative:
         raise ValueError("deep tuning applies to iterative stencils")
     if len(ir.kernels) != 1:
         raise ValueError("deep tuning expects a single smoother kernel")
+    engine = evaluator or PlanEvaluator(device=device, workers=workers)
+    stats_before = engine.stats.snapshot()
     instance = ir.kernels[0]
     entries: List[DeepTuningEntry] = []
     evaluations = 0
     for degree in range(1, max_degree + 1):
         base = seed_plan_from_pragma(ir, instance).replace(time_tile=degree)
-        base = auto_assign(ir, base, device).plan
+        base = auto_assign(ir, base, engine.device).plan
         tuner = HierarchicalTuner(
             ir,
-            device=device,
             use_register_opts=use_register_opts,
             top_k=top_k,
+            evaluator=engine,
+            workers=workers,
         )
         try:
             result = tuner.tune(base)
         except PlanInfeasible:
             break
         evaluations += tuner.evaluations
-        sim = simulate(ir, result.best_plan, device)
-        report = classify_result(sim, device)
+        # The winner was just tuned, so this classification simulation
+        # is a cache hit — the identical SimulationResult object.
+        sim = engine.evaluate(ir, result.best_plan)
+        report = classify_result(sim, engine.device)
         bandwidth = report.bound_level in ("dram", "tex", "shm")
         entries.append(
             DeepTuningEntry(
@@ -131,7 +145,11 @@ def deep_tune(
                 break
     if not entries:
         raise PlanInfeasible("no fusion degree could be tuned")
-    return DeepTuningResult(entries=tuple(entries), evaluations=evaluations)
+    return DeepTuningResult(
+        entries=tuple(entries),
+        evaluations=evaluations,
+        eval_stats=engine.stats.since(stats_before),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,412 @@
+"""Shared plan-evaluation engine: memoized, incremental, parallel.
+
+Every result in this repository flows through repeated invocations of
+the analytical simulator — hierarchical autotuning (§V), deep tuning's
+per-degree sweeps (§VI-A), fission search (§VI-B), random search and the
+baseline generators all price candidate :class:`KernelPlan`s with
+:func:`repro.gpu.simulator.simulate`.  A fast analytical model is only a
+net win while evaluation cost stays negligible next to the search-space
+size, so all search code routes measurements through one
+:class:`PlanEvaluator`, which provides:
+
+* **content-addressed memoization** — simulation results are cached by a
+  canonical plan fingerprint + IR identity + device, so duplicate
+  variants (stage 2 generates overlapping variants per survivor, deep
+  tuning re-visits degree-1 plans, benchmarks re-tune the same kernels)
+  are never simulated twice.  Memoized and fresh paths return the very
+  same :class:`SimulationResult` objects — results are deterministic and
+  bit-for-bit identical either way.
+* **incremental simulation** — the simulator's register-independent
+  prefix (geometry, stages, buffers, access analysis, register demand)
+  is cached per plan *family*, so the paper's register-escalation ladder
+  (32 → 64 → 128 → 255) collapses: demand is known up front and the
+  evaluator jumps straight to the first non-spilling rung instead of
+  simulating every spilling one.
+* **parallel batch evaluation** — :meth:`PlanEvaluator.evaluate_batch`
+  fans candidate evaluation out over a thread pool with deterministic,
+  input-ordered results.
+* **cache / throughput statistics** — hits, misses, simulations avoided
+  and wall-clock, surfaced through tuning results, ``pipeline.report``
+  and the ``--eval-stats`` CLI flag.
+
+Evaluation accounting is uniform: one *request* per candidate plan
+submitted (feasible, spilling or infeasible alike), independent of how
+many register rungs the escalation needed.  Tuners count evaluations the
+same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..codegen.plan import KernelPlan, REGISTER_LEVELS
+from ..codegen.resources import InvalidPlan, validate_plan
+from ..codegen.tiling import plan_family_key, set_plan_cache_enabled
+from ..gpu.counters import SimulationResult
+from ..gpu.device import DeviceSpec, P100
+from ..gpu.simulator import (
+    PlanInfeasible,
+    plan_occupancy,
+    plan_prefix,
+    simulate,
+)
+from ..ir.stencil import ProgramIR
+
+#: Exceptions that mark a candidate as infeasible rather than a bug.
+INFEASIBLE = (PlanInfeasible, InvalidPlan)
+
+#: Escalation strategies: ``incremental`` uses the cached register
+#: demand to jump straight to the first non-spilling rung; ``ladder``
+#: simulates every rung like the seed implementation (kept for
+#: benchmarking and equivalence tests).
+ESCALATION_MODES = ("incremental", "ladder")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One evaluated candidate."""
+
+    plan: KernelPlan
+    time_s: float
+    tflops: float
+
+
+@dataclass
+class EvalStats:
+    """Cache and throughput statistics of one evaluation engine."""
+
+    requests: int = 0  # candidate evaluations requested
+    hits: int = 0  # served from the result cache
+    misses: int = 0  # went to the model (screened or fully simulated)
+    infeasible: int = 0  # requests that turned out infeasible
+    rungs_skipped: int = 0  # escalation rungs resolved without simulating
+    screened: int = 0  # rejected by the occupancy screen, not simulated
+    wall_s: float = 0.0  # time spent inside the engine
+
+    @property
+    def simulations(self) -> int:
+        """Full simulator invocations actually made by the engine."""
+        return self.misses - self.screened
+
+    @property
+    def simulations_avoided(self) -> int:
+        """Simulator invocations removed by memoization + incrementality."""
+        return self.hits + self.rungs_skipped + self.screened
+
+    def snapshot(self) -> "EvalStats":
+        return EvalStats(
+            requests=self.requests,
+            hits=self.hits,
+            misses=self.misses,
+            infeasible=self.infeasible,
+            rungs_skipped=self.rungs_skipped,
+            screened=self.screened,
+            wall_s=self.wall_s,
+        )
+
+    def since(self, before: "EvalStats") -> "EvalStats":
+        """Difference of two snapshots: activity between them."""
+        return EvalStats(
+            requests=self.requests - before.requests,
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            infeasible=self.infeasible - before.infeasible,
+            rungs_skipped=self.rungs_skipped - before.rungs_skipped,
+            screened=self.screened - before.screened,
+            wall_s=self.wall_s - before.wall_s,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "infeasible": self.infeasible,
+            "rungs_skipped": self.rungs_skipped,
+            "screened": self.screened,
+            "simulations": self.simulations,
+            "simulations_avoided": self.simulations_avoided,
+            "wall_s": self.wall_s,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.requests} requests, {self.hits} cache hits, "
+            f"{self.simulations} simulated, {self.rungs_skipped} rungs "
+            f"skipped, {self.screened} screened "
+            f"({self.simulations_avoided} simulations avoided), "
+            f"{self.wall_s * 1e3:.1f} ms"
+        )
+
+
+def plan_fingerprint(plan: KernelPlan, include_registers: bool = True) -> str:
+    """Stable, content-addressed hex fingerprint of a plan.
+
+    Two plans fingerprint identically iff every code-generation decision
+    they encode is identical; with ``include_registers=False`` the
+    register cap is factored out (the plan *family* — what the
+    register-independent simulation prefix is keyed by).
+    """
+    payload = repr(plan_family_key(plan))
+    if include_registers:
+        payload += f"|regs={plan.max_registers}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@contextmanager
+def evaluation_caches_disabled():
+    """Disable the (ir, plan-family) geometry/prefix caches in a scope.
+
+    Benchmarks use this to time the seed-equivalent uncached path; tests
+    use it to prove cached and uncached values are identical.
+    """
+    set_plan_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_plan_cache_enabled(True)
+
+
+class PlanEvaluator:
+    """Single evaluation front-end for every tuner and baseline.
+
+    One evaluator serves any number of programs (results are keyed by IR
+    identity, with a strong reference held so ids are never recycled)
+    but exactly one device.  Failures are memoized alongside successes,
+    so repeatedly probing an infeasible configuration costs one lookup.
+
+    Thread-safe: batch evaluation may run requests concurrently; the
+    result cache is guarded and the underlying model is pure, so
+    duplicated in-flight work is harmless and deterministic.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = P100,
+        memoize: bool = True,
+        workers: Optional[int] = None,
+        escalation: str = "incremental",
+        validate: bool = True,
+        prescreen: bool = True,
+    ):
+        if escalation not in ESCALATION_MODES:
+            raise ValueError(
+                f"unknown escalation mode {escalation!r}; "
+                f"expected one of {ESCALATION_MODES}"
+            )
+        self.device = device
+        self.memoize = memoize
+        self.workers = workers
+        self.escalation = escalation
+        #: run ``validate_plan`` before simulating (some baselines probe
+        #: raw configurations the way a fixed code generator would,
+        #: without the planner's feasibility screen).
+        self.validate = validate
+        #: reject launch-infeasible candidates from the occupancy screen
+        #: without running the full counter/timing model.
+        self.prescreen = prescreen
+        self.stats = EvalStats()
+        #: key -> (ir, ("ok", SimulationResult) | ("fail", exception))
+        self._cache: Dict[tuple, tuple] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def seed_mode(cls, device: DeviceSpec = P100) -> "PlanEvaluator":
+        """An engine that replicates the pre-engine evaluation path:
+
+        no memoization, the full 4-rung register ladder, no occupancy
+        prescreen.  Combine with :func:`evaluation_caches_disabled` to
+        also recompute the per-family geometry each time.  Benchmarks
+        and equivalence tests use this as the comparison baseline.
+        """
+        return cls(
+            device=device, memoize=False, escalation="ladder", prescreen=False
+        )
+
+    # -- single evaluation -----------------------------------------------------
+
+    def _key(self, ir: ProgramIR, plan: KernelPlan) -> tuple:
+        return (id(ir), plan_family_key(plan), plan.max_registers)
+
+    def evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
+        """Validate + simulate one plan, memoized.
+
+        Raises :class:`PlanInfeasible` / :class:`InvalidPlan` exactly as
+        the direct ``validate_plan`` + ``simulate`` path would.
+        """
+        start = time.perf_counter()
+        try:
+            return self._evaluate(ir, plan)
+        finally:
+            self.stats.wall_s += time.perf_counter() - start
+
+    def _evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
+        self.stats.requests += 1
+        key = self._key(ir, plan)
+        if self.memoize:
+            with self._lock:
+                hit = self._cache.get(key)
+            if hit is not None and hit[0] is ir:
+                self.stats.hits += 1
+                status, value = hit[1]
+                if status == "ok":
+                    return value
+                self.stats.infeasible += 1
+                raise value
+        self.stats.misses += 1
+        try:
+            if self.validate:
+                validate_plan(ir, plan)
+            # Launch-feasibility screen from the cheap register-dependent
+            # suffix: candidates the device cannot run are rejected
+            # without paying for the counter and timing models.
+            if self.prescreen:
+                try:
+                    plan_occupancy(ir, plan, self.device)
+                except INFEASIBLE:
+                    self.stats.screened += 1
+                    raise
+            result = simulate(ir, plan, self.device)
+        except INFEASIBLE as exc:
+            self.stats.infeasible += 1
+            if self.memoize:
+                with self._lock:
+                    self._cache[key] = (ir, ("fail", exc))
+            raise
+        if self.memoize:
+            with self._lock:
+                self._cache[key] = (ir, ("ok", result))
+        return result
+
+    def try_evaluate(
+        self,
+        ir: ProgramIR,
+        plan: KernelPlan,
+        catch: tuple = INFEASIBLE,
+    ) -> Optional[SimulationResult]:
+        """Like :meth:`evaluate` but returns None for infeasible plans."""
+        try:
+            return self.evaluate(ir, plan)
+        except catch:
+            return None
+
+    # -- register escalation ---------------------------------------------------
+
+    def register_demand(self, ir: ProgramIR, plan: KernelPlan) -> int:
+        """Uncapped register demand of a plan (register-independent)."""
+        return plan_prefix(ir, plan).reg_demand
+
+    def evaluate_spill_free(
+        self,
+        ir: ProgramIR,
+        plan: KernelPlan,
+        levels: Sequence[int] = REGISTER_LEVELS,
+    ) -> Optional[Tuple[KernelPlan, SimulationResult]]:
+        """The paper's dynamic register-increment ladder, incrementally.
+
+        Returns the first (plan, result) along the escalation levels that
+        does not spill, or None when the plan is infeasible or spills
+        even at the top level.  In ``incremental`` mode the register-
+        independent prefix supplies the demand up front, so the spilling
+        rungs below the first feasible level are skipped entirely — the
+        chosen plan and its simulated result are identical to walking
+        the full ladder.
+        """
+        start = time.perf_counter()
+        try:
+            return self._evaluate_spill_free(ir, plan, tuple(levels))
+        finally:
+            self.stats.wall_s += time.perf_counter() - start
+
+    def _evaluate_spill_free(
+        self, ir: ProgramIR, plan: KernelPlan, levels: Tuple[int, ...]
+    ) -> Optional[Tuple[KernelPlan, SimulationResult]]:
+        if self.escalation == "ladder":
+            for level in levels:
+                candidate = plan.replace(max_registers=level)
+                result = self.try_evaluate(ir, candidate)
+                if result is None:
+                    return None
+                if not result.counters.has_spills:
+                    return candidate, result
+            return None
+        # Incremental: demand is register-independent, so the first
+        # non-spilling rung is known without simulating the others.
+        try:
+            if self.validate:
+                validate_plan(ir, plan)
+            demand = self.register_demand(ir, plan)
+        except INFEASIBLE:
+            return None
+        level = next((lv for lv in levels if demand <= lv), None)
+        if level is None:
+            # Spills even at the top level: every rung would have
+            # spilled; the seed ladder discarded the candidate too.
+            self.stats.rungs_skipped += len(levels)
+            return None
+        position = levels.index(level)
+        self.stats.rungs_skipped += position
+        candidate = plan.replace(max_registers=level)
+        result = self.try_evaluate(ir, candidate)
+        if result is None:
+            return None
+        return candidate, result
+
+    # -- batch evaluation ------------------------------------------------------
+
+    def evaluate_batch(
+        self,
+        ir: ProgramIR,
+        plans: Iterable[KernelPlan],
+        workers: Optional[int] = None,
+        catch: tuple = INFEASIBLE,
+    ) -> List[Optional[SimulationResult]]:
+        """Evaluate many plans, results in input order (None = infeasible).
+
+        With ``workers`` (or the evaluator default) > 1, evaluations run
+        on a thread pool; ordering and values are identical to the
+        serial path because the model is pure and results are assembled
+        by input position.
+        """
+        plans = list(plans)
+        jobs = [lambda p=p: self.try_evaluate(ir, p, catch=catch) for p in plans]
+        return self._run_batch(jobs, workers)
+
+    def evaluate_spill_free_batch(
+        self,
+        ir: ProgramIR,
+        plans: Iterable[KernelPlan],
+        workers: Optional[int] = None,
+        levels: Sequence[int] = REGISTER_LEVELS,
+    ) -> List[Optional[Tuple[KernelPlan, SimulationResult]]]:
+        """Batch variant of :meth:`evaluate_spill_free`, input-ordered."""
+        plans = list(plans)
+        jobs = [
+            lambda p=p: self.evaluate_spill_free(ir, p, levels=levels)
+            for p in plans
+        ]
+        return self._run_batch(jobs, workers)
+
+    def _run_batch(self, jobs, workers: Optional[int]) -> List:
+        count = workers if workers is not None else self.workers
+        if count is None or count <= 1 or len(jobs) <= 1:
+            return [job() for job in jobs]
+        with ThreadPoolExecutor(max_workers=count) as pool:
+            futures = [pool.submit(job) for job in jobs]
+            return [future.result() for future in futures]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def cache_size(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()

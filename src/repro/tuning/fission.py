@@ -239,6 +239,26 @@ def _scalars_used(ir: ProgramIR, instance: StencilInstance) -> List[str]:
 # ---------------------------------------------------------------------------
 
 
+def dedupe_candidates(
+    candidates: Sequence[FissionCandidate],
+) -> Tuple[FissionCandidate, ...]:
+    """Drop candidates whose DSL text duplicates an earlier one.
+
+    Trivial and recompute fission frequently produce the same kernel
+    split (every output already in its own group); tuning the duplicate
+    would double the evaluation cost for an identical result, so the
+    pipeline prices each distinct DSL version once.
+    """
+    seen: Set[str] = set()
+    unique: List[FissionCandidate] = []
+    for candidate in candidates:
+        if candidate.dsl in seen:
+            continue
+        seen.add(candidate.dsl)
+        unique.append(candidate)
+    return tuple(unique)
+
+
 def generate_fission_candidates(ir: ProgramIR) -> Tuple[FissionCandidate, ...]:
     """Produce the maxfuse / trivial-fission / recompute-fission variants."""
     candidates: List[FissionCandidate] = []

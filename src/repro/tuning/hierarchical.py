@@ -12,7 +12,20 @@ Tuning runs in steps instead of searching the full cross-product:
   second-tier optimizations on them: prefetching, concurrent streaming,
   and thread-block load/compute adjustment (perspectives), plus retiming
   and folding when the profiling advice enables register-level
-  optimizations.
+  optimizations.  Variants whose plan family was already measured (in
+  stage 1 or for an earlier survivor) are deduplicated by fingerprint.
+
+All measurement flows through a shared :class:`PlanEvaluator`
+(``repro.tuning.evaluator``), which memoizes simulation results,
+collapses the register-escalation ladder via the register-independent
+simulation prefix, and can evaluate candidate batches on a thread pool.
+
+**Evaluation accounting** is uniform: ``evaluations`` counts one per
+candidate plan submitted for measurement — feasible, spilling and
+infeasible candidates alike, independent of how many register-escalation
+rungs were needed.  (The seed implementation counted each escalation
+rung but not infeasible candidates; the uniform rule makes tuner budgets
+comparable across search strategies.)
 
 Users can supply their own hierarchy (a list of variant generators), as
 the paper allows.
@@ -20,21 +33,31 @@ the paper allows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..codegen.plan import (
     KernelPlan,
     PERSPECTIVE_MIXED,
     STREAM_CONCURRENT,
 )
-from ..codegen.resources import InvalidPlan, validate_plan
+from ..codegen.tiling import plan_family_key
 from ..gpu.device import DeviceSpec, P100
-from ..gpu.simulator import PlanInfeasible, simulate
+from ..gpu.simulator import PlanInfeasible
 from ..ir.folding import find_fold_groups
 from ..ir.homogenize import kernel_retimable
 from ..ir.stencil import ProgramIR
+from .evaluator import EvalStats, Measurement, PlanEvaluator
 from .space import SearchSpace, seed_variants
+
+__all__ = [
+    "HierarchicalTuner",
+    "Measurement",
+    "TuningResult",
+    "tune_kernel",
+    "with_fold_groups",
+    "TOP_K",
+]
 
 #: Stage-1 survivors carried into stage 2.
 TOP_K = 4
@@ -55,15 +78,6 @@ def with_fold_groups(plan: KernelPlan, folds) -> KernelPlan:
 
 
 @dataclass(frozen=True)
-class Measurement:
-    """One evaluated candidate."""
-
-    plan: KernelPlan
-    time_s: float
-    tflops: float
-
-
-@dataclass(frozen=True)
 class TuningResult:
     """Outcome of a hierarchical tuning run."""
 
@@ -71,6 +85,7 @@ class TuningResult:
     evaluations: int
     stage1_evaluations: int
     trace: Tuple[Measurement, ...] = ()
+    eval_stats: Optional[EvalStats] = None
 
     @property
     def best_plan(self) -> KernelPlan:
@@ -90,65 +105,100 @@ class HierarchicalTuner:
         top_k: int = TOP_K,
         hierarchy: Optional[Sequence[VariantGenerator]] = None,
         keep_trace: bool = False,
+        evaluator: Optional[PlanEvaluator] = None,
+        workers: Optional[int] = None,
     ):
         self.ir = ir
-        self.device = device
+        self.evaluator = evaluator or PlanEvaluator(device=device, workers=workers)
+        self.device = self.evaluator.device
         self.use_unrolling = use_unrolling
         self.use_register_opts = use_register_opts
         self.bandwidth_bound = bandwidth_bound
         self.top_k = top_k
         self.hierarchy = hierarchy
         self.keep_trace = keep_trace
+        self.workers = workers if workers is not None else self.evaluator.workers
         self.evaluations = 0
         self._trace: List[Measurement] = []
+        self._measured_families: Set[tuple] = set()
 
     # -- measurement -----------------------------------------------------------
 
     def measure(self, plan: KernelPlan) -> Optional[Measurement]:
-        """Simulate a candidate; escalate registers past spills.
+        """Evaluate a candidate; escalate registers past spills.
 
         Implements the paper's dynamic register increment: if the
         configuration spills at the current ``maxrregcount``, retry at
         the next level; configurations that spill even at 255 registers
-        are discarded (only non-spill configurations are explored).
+        are discarded (only non-spill configurations are explored).  The
+        evaluator resolves the ladder from the register-independent
+        demand, so the spilling rungs cost nothing.
+
+        Counts exactly one evaluation per call, feasible or not.
         """
-        for level in (32, 64, 128, 255):
-            candidate = plan.replace(max_registers=level)
-            try:
-                validate_plan(self.ir, candidate)
-                result = simulate(self.ir, candidate, self.device)
-            except (PlanInfeasible, InvalidPlan):
-                return None
-            self.evaluations += 1
-            if not result.counters.has_spills:
-                measurement = Measurement(
-                    plan=candidate,
-                    time_s=result.time_s,
-                    tflops=result.tflops,
-                )
-                if self.keep_trace:
-                    self._trace.append(measurement)
-                return measurement
-        return None
+        self.evaluations += 1
+        self._measured_families.add(plan_family_key(plan))
+        found = self.evaluator.evaluate_spill_free(self.ir, plan)
+        return self._record(found)
+
+    def _measure_batch(
+        self, plans: Sequence[KernelPlan]
+    ) -> List[Optional[Measurement]]:
+        """Measure candidates (possibly in parallel), input-ordered.
+
+        Accounting and trace entries are identical to calling
+        :meth:`measure` serially on each plan.
+        """
+        self.evaluations += len(plans)
+        for plan in plans:
+            self._measured_families.add(plan_family_key(plan))
+        found = self.evaluator.evaluate_spill_free_batch(
+            self.ir, plans, workers=self.workers
+        )
+        return [self._record(item) for item in found]
+
+    def _record(self, found) -> Optional[Measurement]:
+        if found is None:
+            return None
+        plan, result = found
+        measurement = Measurement(
+            plan=plan, time_s=result.time_s, tflops=result.tflops
+        )
+        if self.keep_trace:
+            self._trace.append(measurement)
+        return measurement
 
     def measure_with_spills(self, plan: KernelPlan) -> Optional[Measurement]:
-        """Measure at the maximum register level even if it spills."""
-        candidate = plan.replace(max_registers=255)
-        try:
-            validate_plan(self.ir, candidate)
-            result = simulate(self.ir, candidate, self.device)
-        except (PlanInfeasible, InvalidPlan):
-            return None
+        """Measure at the maximum register level even if it spills.
+
+        Counts one evaluation, feasible or not (uniform accounting).
+        """
         self.evaluations += 1
-        return Measurement(
+        candidate = plan.replace(max_registers=255)
+        self._measured_families.add(plan_family_key(candidate))
+        result = self.evaluator.try_evaluate(self.ir, candidate)
+        if result is None:
+            return None
+        measurement = Measurement(
             plan=candidate, time_s=result.time_s, tflops=result.tflops
         )
+        if self.keep_trace:
+            self._trace.append(measurement)
+        return measurement
 
     # -- stages -----------------------------------------------------------------
 
     def tune(self, base: KernelPlan) -> TuningResult:
+        stats_before = self.evaluator.stats.snapshot()
         if self.hierarchy is not None:
-            return self._tune_custom(base)
+            result = self._tune_custom(base)
+        else:
+            result = self._tune_two_stage(base)
+        return dataclass_replace_stats(
+            result, self.evaluator.stats.since(stats_before)
+        )
+
+    def _tune_two_stage(self, base: KernelPlan) -> TuningResult:
         stage1 = self._stage1(base)
         stage1_evals = self.evaluations
         if not stage1:
@@ -181,17 +231,16 @@ class HierarchicalTuner:
             device=self.device,
         )
         retimable = self._retimable(base)
-        results: List[Measurement] = []
+        candidates: List[KernelPlan] = []
         for variant in seed_variants(base, space):
-            measurement = self.measure(variant)
-            if measurement is not None:
-                results.append(measurement)
+            candidates.append(variant)
             if retimable and variant.total_unroll() == 1:
                 # Register-level optimizations change which block sizes
                 # win; explore the retimed shape of each block up front.
-                retimed = self.measure(variant.replace(retime=True))
-                if retimed is not None:
-                    results.append(retimed)
+                candidates.append(variant.replace(retime=True))
+        results = [
+            m for m in self._measure_batch(candidates) if m is not None
+        ]
         results.sort(key=lambda m: m.time_s)
         return results[: self.top_k]
 
@@ -205,12 +254,23 @@ class HierarchicalTuner:
         )
 
     def _stage2(self, survivors: List[Measurement]) -> Measurement:
-        best = survivors[0]
+        # Different survivors (and stage 1 itself) can generate the same
+        # second-tier variant — e.g. retiming a survivor that stage 1
+        # already explored retimed.  Deduplicate by plan-family
+        # fingerprint so each distinct configuration is measured once.
+        candidates: List[KernelPlan] = []
+        seen = set(self._measured_families)
         for survivor in survivors:
             for variant in self._stage2_variants(survivor.plan):
-                measurement = self.measure(variant)
-                if measurement is not None and measurement.time_s < best.time_s:
-                    best = measurement
+                family = plan_family_key(variant)
+                if family in seen:
+                    continue
+                seen.add(family)
+                candidates.append(variant)
+        best = survivors[0]
+        for measurement in self._measure_batch(candidates):
+            if measurement is not None and measurement.time_s < best.time_s:
+                best = measurement
         return best
 
     def _stage2_variants(self, plan: KernelPlan) -> Iterable[KernelPlan]:
@@ -243,12 +303,12 @@ class HierarchicalTuner:
         best: Optional[Measurement] = None
         stage1_evals = 0
         for depth, generator in enumerate(self.hierarchy or ()):
-            measured: List[Measurement] = []
+            level_plans: List[KernelPlan] = []
             for plan in survivors:
-                for variant in generator(self.ir, plan):
-                    measurement = self.measure(variant)
-                    if measurement is not None:
-                        measured.append(measurement)
+                level_plans.extend(generator(self.ir, plan))
+            measured = [
+                m for m in self._measure_batch(level_plans) if m is not None
+            ]
             measured.sort(key=lambda m: m.time_s)
             if measured:
                 survivors = [m.plan for m in measured[: self.top_k]]
@@ -266,6 +326,14 @@ class HierarchicalTuner:
             stage1_evaluations=stage1_evals,
             trace=tuple(self._trace),
         )
+
+
+def dataclass_replace_stats(
+    result: TuningResult, stats: EvalStats
+) -> TuningResult:
+    from dataclasses import replace
+
+    return replace(result, eval_stats=stats)
 
 
 def tune_kernel(

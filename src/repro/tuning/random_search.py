@@ -22,11 +22,11 @@ from ..codegen.plan import (
     STREAM_NONE,
     STREAM_SERIAL,
 )
-from ..codegen.resources import InvalidPlan, validate_plan
+from ..codegen.resources import InvalidPlan
 from ..gpu.device import DeviceSpec, P100
-from ..gpu.simulator import PlanInfeasible, simulate
+from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
-from .hierarchical import Measurement
+from .evaluator import Measurement, PlanEvaluator
 
 _BLOCK_CHOICES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 _UNROLL_CHOICES = tuple(range(1, 17))
@@ -73,29 +73,36 @@ def random_search(
     budget: int,
     device: DeviceSpec = P100,
     seed: int = 0,
+    evaluator: Optional[PlanEvaluator] = None,
+    workers: Optional[int] = None,
 ) -> RandomSearchResult:
     """Sample ``budget`` configurations uniformly; keep the best.
 
     Mirrors an untuned generic search: most samples are infeasible
     (thread/shared-memory/register limits) or spill, which is exactly
-    why unpruned spaces waste their budget.
+    why unpruned spaces waste their budget.  Every sample counts one
+    evaluation, feasible or not (a failed compile still costs a generic
+    tuner its budget slot).  The whole budget is submitted as one batch
+    through the shared evaluation engine, so independent samples can be
+    priced in parallel without changing the result.
     """
     rng = random.Random(seed)
+    engine = evaluator or PlanEvaluator(device=device, workers=workers)
+    plans = [_sample_plan(rng, ir, kernel_name) for _ in range(budget)]
+    # Generic search has no pruning model: broad ValueErrors from deep in
+    # the geometry code count as failed compiles, not bugs.
+    results = engine.evaluate_batch(
+        ir,
+        plans,
+        workers=workers,
+        catch=(PlanInfeasible, InvalidPlan, ValueError),
+    )
     best: Optional[Measurement] = None
-    evaluations = 0
     infeasible = 0
-    attempts = 0
-    while evaluations < budget:
-        attempts += 1
-        plan = _sample_plan(rng, ir, kernel_name)
-        try:
-            validate_plan(ir, plan)
-            result = simulate(ir, plan, device)
-        except (PlanInfeasible, InvalidPlan, ValueError):
+    for plan, result in zip(plans, results):
+        if result is None:
             infeasible += 1
-            evaluations += 1  # a failed compile still costs the tuner
             continue
-        evaluations += 1
         measurement = Measurement(
             plan=plan, time_s=result.time_s, tflops=result.tflops
         )
@@ -103,7 +110,7 @@ def random_search(
             best = measurement
     return RandomSearchResult(
         best=best,
-        evaluations=evaluations,
-        attempts=attempts,
+        evaluations=len(plans),
+        attempts=len(plans),
         infeasible=infeasible,
     )

@@ -58,3 +58,12 @@ def smoother_ir():
 @pytest.fixture
 def sw4_ir():
     return build_ir(parse(SW4_LIKE_SRC))
+
+
+@pytest.fixture
+def base_plan(smoother_ir):
+    from repro.codegen import seed_plan_from_pragma
+
+    return seed_plan_from_pragma(smoother_ir, smoother_ir.kernels[0]).replace(
+        placements=(("in", "shmem"),)
+    )

@@ -1,0 +1,249 @@
+"""Tests for the shared plan-evaluation engine.
+
+The engine's contract is *bit-for-bit equivalence*: memoized, batched,
+parallel and incrementally-escalated evaluation must return exactly what
+the direct ``validate_plan`` + ``simulate`` path returns.
+"""
+
+import random
+
+import pytest
+
+from repro.codegen.plan import REGISTER_LEVELS
+from repro.codegen.resources import InvalidPlan, validate_plan
+from repro.codegen.tiling import plan_family_key
+from repro.gpu.simulator import PlanInfeasible, simulate
+from repro.tuning import (
+    HierarchicalTuner,
+    PlanEvaluator,
+    evaluation_caches_disabled,
+    plan_fingerprint,
+)
+from repro.tuning.random_search import _sample_plan
+
+
+def sampled_plans(ir, kernel_name, count, seed=7):
+    rng = random.Random(seed)
+    return [_sample_plan(rng, ir, kernel_name) for _ in range(count)]
+
+
+def direct_result(ir, plan, device):
+    """The seed evaluation path: validate + simulate, None if infeasible."""
+    try:
+        validate_plan(ir, plan)
+        return simulate(ir, plan, device)
+    except (PlanInfeasible, InvalidPlan, ValueError):
+        return None
+
+
+class TestIdentityProperty:
+    def test_matches_direct_simulate_on_random_plans(self, smoother_ir):
+        evaluator = PlanEvaluator()
+        kernel = smoother_ir.kernels[0].name
+        checked = 0
+        for plan in sampled_plans(smoother_ir, kernel, 60):
+            expected = direct_result(smoother_ir, plan, evaluator.device)
+            got = evaluator.try_evaluate(
+                smoother_ir, plan, catch=(PlanInfeasible, InvalidPlan, ValueError)
+            )
+            if expected is None:
+                assert got is None
+            else:
+                checked += 1
+                assert got.counters == expected.counters
+                assert got.timing == expected.timing
+                assert got.occupancy == expected.occupancy
+        assert checked > 5  # the sample must exercise feasible plans
+
+    def test_cached_matches_uncached(self, smoother_ir):
+        evaluator = PlanEvaluator()
+        kernel = smoother_ir.kernels[0].name
+        plans = sampled_plans(smoother_ir, kernel, 30, seed=13)
+        warm = [evaluator.try_evaluate(smoother_ir, p) for p in plans]
+        with evaluation_caches_disabled():
+            cold_eval = PlanEvaluator(memoize=False)
+            cold = [cold_eval.try_evaluate(smoother_ir, p) for p in plans]
+        for cached, fresh in zip(warm, cold):
+            assert (cached is None) == (fresh is None)
+            if cached is not None:
+                assert cached.counters == fresh.counters
+                assert cached.timing == fresh.timing
+
+
+class TestMemoization:
+    def test_second_evaluation_is_a_hit(self, smoother_ir, base_plan):
+        evaluator = PlanEvaluator()
+        first = evaluator.evaluate(smoother_ir, base_plan)
+        second = evaluator.evaluate(smoother_ir, base_plan)
+        assert first is second
+        assert evaluator.stats.requests == 2
+        assert evaluator.stats.hits == 1
+        assert evaluator.stats.misses == 1
+
+    def test_infeasible_failures_memoized(self, smoother_ir, base_plan):
+        bad = base_plan.replace(block=(1024, 1024))
+        evaluator = PlanEvaluator()
+        assert evaluator.try_evaluate(smoother_ir, bad) is None
+        assert evaluator.try_evaluate(smoother_ir, bad) is None
+        assert evaluator.stats.misses == 1
+        assert evaluator.stats.hits == 1
+        assert evaluator.stats.infeasible == 2
+
+    def test_memoize_off_always_simulates(self, smoother_ir, base_plan):
+        evaluator = PlanEvaluator(memoize=False)
+        evaluator.evaluate(smoother_ir, base_plan)
+        evaluator.evaluate(smoother_ir, base_plan)
+        assert evaluator.stats.hits == 0
+        assert evaluator.stats.misses == 2
+
+    def test_register_levels_share_one_family(self, smoother_ir, base_plan):
+        evaluator = PlanEvaluator()
+        for level in REGISTER_LEVELS:
+            evaluator.evaluate(
+                smoother_ir, base_plan.replace(max_registers=level)
+            )
+        # Four cache entries (one per register level), one plan family.
+        assert evaluator.cache_size() == len(REGISTER_LEVELS)
+        families = {
+            plan_family_key(base_plan.replace(max_registers=level))
+            for level in REGISTER_LEVELS
+        }
+        assert len(families) == 1
+
+
+class TestBatch:
+    def test_results_in_input_order(self, smoother_ir):
+        kernel = smoother_ir.kernels[0].name
+        plans = sampled_plans(smoother_ir, kernel, 40, seed=3)
+        evaluator = PlanEvaluator()
+        serial = [
+            evaluator.try_evaluate(
+                smoother_ir, p, catch=(PlanInfeasible, InvalidPlan, ValueError)
+            )
+            for p in plans
+        ]
+        parallel_eval = PlanEvaluator()
+        batched = parallel_eval.evaluate_batch(
+            smoother_ir,
+            plans,
+            workers=4,
+            catch=(PlanInfeasible, InvalidPlan, ValueError),
+        )
+        assert len(batched) == len(plans)
+        for ser, par in zip(serial, batched):
+            assert (ser is None) == (par is None)
+            if ser is not None:
+                assert par.counters == ser.counters
+                assert par.timing == ser.timing
+
+    def test_spill_free_batch_matches_serial(self, smoother_ir, base_plan):
+        variants = [
+            base_plan.replace(unroll=(1, 1, u)) for u in (1, 2, 4, 8)
+        ]
+        serial_eval = PlanEvaluator()
+        serial = [
+            serial_eval.evaluate_spill_free(smoother_ir, v) for v in variants
+        ]
+        batch_eval = PlanEvaluator()
+        batched = batch_eval.evaluate_spill_free_batch(
+            smoother_ir, variants, workers=4
+        )
+        for ser, par in zip(serial, batched):
+            assert (ser is None) == (par is None)
+            if ser is not None:
+                assert par[0] == ser[0]
+                assert par[1].timing == ser[1].timing
+
+
+class TestEscalation:
+    def test_incremental_matches_ladder(self, smoother_ir):
+        kernel = smoother_ir.kernels[0].name
+        plans = [
+            p.replace(max_registers=REGISTER_LEVELS[-1])
+            for p in sampled_plans(smoother_ir, kernel, 40, seed=29)
+        ]
+        fast = PlanEvaluator(escalation="incremental")
+        slow = PlanEvaluator(escalation="ladder")
+        for plan in plans:
+            a = fast.evaluate_spill_free(smoother_ir, plan)
+            b = slow.evaluate_spill_free(smoother_ir, plan)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a[0] == b[0]  # same chosen register level
+                assert a[1].timing == b[1].timing
+                assert a[1].counters == b[1].counters
+        assert fast.stats.misses < slow.stats.misses
+        assert fast.stats.rungs_skipped > 0
+
+    def test_skips_spilling_rungs(self, smoother_ir, base_plan):
+        # A heavily unrolled plan demands more than 32 registers, so the
+        # low rungs must be resolved without simulation.
+        evaluator = PlanEvaluator()
+        found = evaluator.evaluate_spill_free(
+            smoother_ir, base_plan.replace(unroll=(1, 2, 4))
+        )
+        assert found is not None
+        plan, result = found
+        assert plan.max_registers > 32
+        assert not result.counters.has_spills
+        assert evaluator.stats.rungs_skipped > 0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PlanEvaluator(escalation="bogus")
+
+
+class TestFingerprint:
+    def test_stable_and_content_addressed(self, base_plan):
+        assert plan_fingerprint(base_plan) == plan_fingerprint(base_plan)
+        other = base_plan.replace(block=(8, 8))
+        assert plan_fingerprint(other) != plan_fingerprint(base_plan)
+
+    def test_register_cap_can_be_factored_out(self, base_plan):
+        a = base_plan.replace(max_registers=32)
+        b = base_plan.replace(max_registers=255)
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+        assert plan_fingerprint(a, include_registers=False) == plan_fingerprint(
+            b, include_registers=False
+        )
+
+
+class TestTunerIntegration:
+    def test_uniform_accounting_counts_infeasible(self, smoother_ir, base_plan):
+        tuner = HierarchicalTuner(smoother_ir)
+        assert tuner.measure(base_plan.replace(block=(1024, 1024))) is None
+        assert tuner.evaluations == 1
+
+    def test_stage2_never_remeasures_a_family(self, smoother_ir, base_plan):
+        tuner = HierarchicalTuner(
+            smoother_ir, use_register_opts=True, keep_trace=True
+        )
+        result = tuner.tune(base_plan)
+        families = [plan_family_key(m.plan) for m in result.trace]
+        assert len(families) == len(set(families))
+
+    def test_result_carries_eval_stats(self, smoother_ir, base_plan):
+        tuner = HierarchicalTuner(smoother_ir)
+        result = tuner.tune(base_plan)
+        assert result.eval_stats is not None
+        assert result.eval_stats.requests >= result.evaluations
+        assert result.eval_stats.misses > 0
+
+    def test_shared_evaluator_reuses_results(self, smoother_ir, base_plan):
+        shared = PlanEvaluator()
+        first = HierarchicalTuner(smoother_ir, evaluator=shared)
+        second = HierarchicalTuner(smoother_ir, evaluator=shared)
+        a = first.tune(base_plan)
+        hits_before = shared.stats.hits
+        b = second.tune(base_plan)
+        assert b.best.plan == a.best.plan
+        assert b.best.time_s == a.best.time_s
+        # The re-run is served almost entirely from the memo cache.
+        assert shared.stats.hits > hits_before
+
+    def test_parallel_tuning_identical_to_serial(self, smoother_ir, base_plan):
+        serial = HierarchicalTuner(smoother_ir).tune(base_plan)
+        threaded = HierarchicalTuner(smoother_ir, workers=4).tune(base_plan)
+        assert threaded.best.plan == serial.best.plan
+        assert threaded.best.time_s == serial.best.time_s
+        assert threaded.evaluations == serial.evaluations
