@@ -26,6 +26,13 @@ from typing import Optional
 from .codegen.generator import generate_baseline, lower
 from .gpu.device import DEVICES, DeviceSpec, P100
 from .ir.analysis import characteristics
+from .obs import (
+    configure_metrics,
+    configure_tracing,
+    get_metrics,
+    get_tracer,
+    write_trace,
+)
 from .pipeline import format_report, optimize
 from .profiling import classify_result, profile
 from .suite import BENCHMARKS, get as get_benchmark
@@ -54,6 +61,51 @@ def _device(name: str) -> DeviceSpec:
         ) from None
 
 
+def _obs_begin(args) -> None:
+    """Enable tracing/metrics before a command when its flags ask for it."""
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path:
+        configure_tracing(True, clear=True)
+    if trace_path or want_metrics:
+        configure_metrics(True, reset=True)
+
+
+def _obs_finish(args) -> None:
+    """Write the trace file / print metrics, then disable collection."""
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path:
+        write_trace(trace_path, fmt=getattr(args, "trace_format", "chrome"))
+        spans = len(get_tracer().finished())
+        print(f"trace: {spans} spans written to {trace_path}", file=sys.stderr)
+    if want_metrics:
+        _print_metrics()
+    if trace_path:
+        configure_tracing(False)
+    if trace_path or want_metrics:
+        configure_metrics(False)
+
+
+def _print_metrics() -> None:
+    snapshot = get_metrics().snapshot()
+    print("\npipeline metrics:")
+    if not snapshot:
+        print("  (none recorded)")
+        return
+    for name, data in snapshot.items():
+        kind = data["type"]
+        if kind == "histogram":
+            print(
+                f"  {name:36s} count={data['count']} sum={data['sum']:.6f} "
+                f"min={data['min']:.6f} max={data['max']:.6f}"
+            )
+        else:
+            value = data["value"]
+            rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+            print(f"  {name:36s} {rendered}")
+
+
 def cmd_characteristics(args) -> int:
     ir = _load(args.spec)
     row = characteristics(ir)
@@ -76,6 +128,8 @@ def cmd_optimize(args) -> int:
         top_k=args.top_k,
         workers=args.workers,
     )
+    if outcome.eval_stats is not None:
+        outcome.eval_stats.publish()
     print(format_report(outcome, _device(args.device)))
     if args.eval_stats and outcome.eval_stats is not None:
         _print_eval_stats(outcome.eval_stats)
@@ -99,12 +153,16 @@ def cmd_cuda(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    from .obs import span
+
     ir = _load(args.spec)
     device = _device(args.device)
-    generated = generate_baseline(ir, device=device)
+    with span("lower"):
+        generated = generate_baseline(ir, device=device)
     for plan in generated.schedule.plans:
-        report = profile(ir, plan, device)
-        verdict = classify_result(report.result, device)
+        with span("profile", kernels="+".join(plan.kernel_names)):
+            report = profile(ir, plan, device)
+            verdict = classify_result(report.result, device)
         print(f"== {plan.describe()} ==")
         for name, value in report.metrics.items():
             print(f"  {name:28s} {value:.4g}")
@@ -144,6 +202,8 @@ def cmd_deep_tune(args) -> int:
     result = deep_tune(
         ir, device=_device(args.device), workers=args.workers
     )
+    if result.eval_stats is not None:
+        result.eval_stats.publish()
     if args.eval_stats and result.eval_stats is not None:
         _print_eval_stats(result.eval_stats)
     for entry in result.entries:
@@ -194,18 +254,37 @@ def build_parser() -> argparse.ArgumentParser:
         )
         return p
 
+    def add_obs_flags(p):
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record a span trace of the run and write it to PATH "
+                 "(open in chrome://tracing or ui.perfetto.dev)",
+        )
+        p.add_argument(
+            "--trace-format", choices=("chrome", "flat"), default="chrome",
+            help="trace file format: chrome://tracing object (default) "
+                 "or flat span/metrics JSON",
+        )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="collect pipeline metrics and print them after the run",
+        )
+        return p
+
     p = add_common(sub.add_parser("optimize", help="run the full flow"))
     p.add_argument("-T", "--iterations", type=int, default=None,
                    help="time-iteration count for iterative stencils")
     p.add_argument("--top-k", type=int, default=4,
                    help="stage-1 survivors carried into stage 2")
     add_eval_flags(p)
+    add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
     p = add_common(sub.add_parser("cuda", help="emit the baseline CUDA"))
     p.set_defaults(func=cmd_cuda)
 
     p = add_common(sub.add_parser("profile", help="profile the baseline"))
+    add_obs_flags(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("suite", help="list the built-in benchmarks")
@@ -216,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     ))
     p.add_argument("-T", "--iterations", type=int, default=12)
     add_eval_flags(p)
+    add_obs_flags(p)
     p.set_defaults(func=cmd_deep_tune)
 
     return parser
@@ -224,7 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _obs_begin(args)
+    try:
+        return args.func(args)
+    finally:
+        _obs_finish(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,8 @@ from ..ir.analysis import (
 from ..ir.folding import apply_folding
 from ..ir.stencil import ProgramIR, StencilInstance
 from ..ir.types import sizeof
+from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
+from ..obs import span as _span
 from .plan import (
     GMEM,
     KernelPlan,
@@ -88,7 +90,13 @@ def _plan_memoized(tag: str, ir: ProgramIR, plan: KernelPlan, compute,
     hit = _PLAN_MEMO.get(key)
     if hit is not None and hit[0] is ir:
         return hit[1]
-    value = compute()
+    # Only cache misses are worth observing: they are where geometry is
+    # actually computed, and they are rare enough (one per plan family)
+    # that instrumentation cannot perturb the hit fast-path.
+    if _metrics_enabled():
+        _counter(f"tiling.plan_cache_miss.{tag}").add()
+    with _span(f"planning.{tag}"):
+        value = compute()
     _PLAN_MEMO[key] = (ir, value)
     return value
 

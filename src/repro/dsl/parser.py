@@ -55,12 +55,15 @@ def parse(source: str, validate: bool = True) -> Program:
     raises :class:`~repro.dsl.errors.ValidationError` on ill-formed
     programs.
     """
-    stream = TokenStream(lexer.tokenize(source))
-    parser = _ProgramParser(stream)
-    program = parser.parse_program()
-    if validate:
-        validate_program(program)
-    return program
+    from ..obs import span
+
+    with span("parse", source_bytes=len(source)):
+        stream = TokenStream(lexer.tokenize(source))
+        parser = _ProgramParser(stream)
+        program = parser.parse_program()
+        if validate:
+            validate_program(program)
+        return program
 
 
 class _ProgramParser:

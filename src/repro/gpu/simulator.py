@@ -49,6 +49,8 @@ from ..codegen.tiling import (
 from ..ir.analysis import access_patterns, access_summary
 from ..ir.stencil import ProgramIR
 from ..ir.types import sizeof
+from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
+from ..obs import span as _span
 from .counters import KernelCounters, SimulationResult, TimingBreakdown
 from .device import DeviceSpec, P100
 from .occupancy import OccupancyResult, occupancy
@@ -160,6 +162,8 @@ def plan_occupancy(
             device, pre.geometry.threads_per_block, compiled, pre.shmem
         )
     except ValueError as exc:
+        if _metrics_enabled():
+            _counter("simulate.prescreen_rejections").add()
         raise PlanInfeasible(str(exc)) from exc
 
 
@@ -169,15 +173,18 @@ def simulate(
     """Simulate one launch of ``plan`` over the whole domain."""
     global _SIMULATE_CALLS
     _SIMULATE_CALLS += 1
-    pre = plan_prefix(ir, plan)
-    regs = {
-        "demand": pre.reg_demand,
-        "compiled": min(pre.reg_demand, plan.max_registers),
-    }
-    occ = plan_occupancy(ir, plan, device)
-    counters = _count(ir, plan, device, pre, regs, occ)
-    timing = _time(ir, plan, device, pre.geometry, counters, occ)
-    return SimulationResult(counters=counters, occupancy=occ, timing=timing)
+    if _metrics_enabled():
+        _counter("simulate.calls").add()
+    with _span("simulate"):
+        pre = plan_prefix(ir, plan)
+        regs = {
+            "demand": pre.reg_demand,
+            "compiled": min(pre.reg_demand, plan.max_registers),
+        }
+        occ = plan_occupancy(ir, plan, device)
+        counters = _count(ir, plan, device, pre, regs, occ)
+        timing = _time(ir, plan, device, pre.geometry, counters, occ)
+        return SimulationResult(counters=counters, occupancy=occ, timing=timing)
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,8 @@ from ..dsl.ast import (
     UnaryOp,
     array_accesses,
 )
+from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
+from ..obs import span as _span
 from .stencil import ProgramIR, Statement, StencilInstance
 from .types import sizeof
 
@@ -41,7 +43,10 @@ def _memoized(tag: str, obj, compute):
     hit = _MEMO.get(key)
     if hit is not None and hit[0] is obj:
         return hit[1]
-    value = compute()
+    if _metrics_enabled():
+        _counter(f"analysis.cache_miss.{tag}").add()
+    with _span(f"analysis.{tag}"):
+        value = compute()
     _MEMO[key] = (obj, value)
     return value
 
@@ -58,7 +63,10 @@ def memoized_kv(tag: str, obj, key, compute):
     hit = _MEMO.get(full)
     if hit is not None and hit[0] is obj:
         return hit[1]
-    value = compute()
+    if _metrics_enabled():
+        _counter(f"analysis.cache_miss.{tag}").add()
+    with _span(f"analysis.{tag}"):
+        value = compute()
     _MEMO[full] = (obj, value)
     return value
 
@@ -308,6 +316,11 @@ class KernelCharacteristics:
 
 def characteristics(ir: ProgramIR) -> KernelCharacteristics:
     """Aggregate Table I characteristics over all kernels of a program."""
+    with _span("analysis", what="characteristics"):
+        return _characteristics(ir)
+
+
+def _characteristics(ir: ProgramIR) -> KernelCharacteristics:
     flops = sum(kernel_flops_per_point(k) for k in ir.kernels)
     order = program_order(ir)
     io: List[str] = []

@@ -1,0 +1,229 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Every quantitative signal the pipeline already produces piecemeal —
+:class:`~repro.tuning.evaluator.EvalStats` cache counters, the
+simulator's call count and occupancy-prescreen rejections, the
+hierarchical tuner's per-stage candidate counts — feeds one registry
+here, so a single ``--metrics`` flag (or a trace export) can show the
+whole picture of a run.
+
+Collection is off by default and every hot-path instrumentation site
+guards with :func:`metrics_enabled`, so the disabled cost is a global
+flag check.  All metric types are thread-safe (one lock per metric;
+increments from ``evaluate_batch`` worker threads are exact, not
+last-writer-wins).
+
+API::
+
+    from repro.obs import counter, gauge, histogram, metrics_enabled
+
+    if metrics_enabled():
+        counter("eval.requests").add()
+        gauge("tiling.plan_cache.size").set(plan_cache_size())
+        histogram("simulate.wall_s").observe(elapsed)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "configure_metrics",
+    "counter",
+    "gauge",
+    "get_metrics",
+    "histogram",
+    "metrics_enabled",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-set point-in-time value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    A fixed-size reservoir of the most recent observations rides along
+    so exports can show a coarse distribution without unbounded memory.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_recent",
+                 "_capacity", "_lock")
+
+    def __init__(self, name: str, capacity: int = 64):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._recent: List[float] = []
+        self._capacity = capacity
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._recent) >= self._capacity:
+                self._recent.pop(0)
+            self._recent.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshot-able as plain JSON."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """All metrics as a name-sorted plain dict (JSON-ready)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].as_dict() for name in sorted(metrics)}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# process-wide registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+_ENABLED = False
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+def configure_metrics(enabled: bool, reset: bool = False) -> MetricsRegistry:
+    """Enable/disable collection on the global registry."""
+    global _ENABLED
+    if reset:
+        _REGISTRY.reset()
+    _ENABLED = enabled
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)

@@ -1,6 +1,11 @@
 """End-to-end ARTEMIS optimization flow (Section VII)."""
 
 from .artemis import OptimizationOutcome, optimize
-from .report import format_report
+from .report import format_phase_timings, format_report
 
-__all__ = ["OptimizationOutcome", "format_report", "optimize"]
+__all__ = [
+    "OptimizationOutcome",
+    "format_phase_timings",
+    "format_report",
+    "optimize",
+]

@@ -27,6 +27,7 @@ from ..codegen.resources import auto_assign, seed_plan_from_pragma
 from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
+from ..obs import span as _span
 from ..profiling.advisor import Advice, advise
 from ..tuning.deeptuning import (
     DeepTuningResult,
@@ -75,10 +76,12 @@ def optimize(
     tuning), so any plan the flow revisits is a memo-cache hit.
     ``workers`` fans candidate batches out over that many threads.
     """
-    ir = lower(source_or_ir)
-    engine = evaluator or PlanEvaluator(device=device, workers=workers)
-    stats_before = engine.stats.snapshot()
-    outcome = _optimize(ir, engine, iterations, explore_fission, top_k)
+    with _span("optimize"):
+        with _span("lower"):
+            ir = lower(source_or_ir)
+        engine = evaluator or PlanEvaluator(device=device, workers=workers)
+        stats_before = engine.stats.snapshot()
+        outcome = _optimize(ir, engine, iterations, explore_fission, top_k)
     from dataclasses import replace
 
     return replace(outcome, eval_stats=engine.stats.since(stats_before))
@@ -275,20 +278,22 @@ def _tune_kernels(
     advice_list: List[Advice] = []
     evaluations = 0
     for instance in ir.kernels:
-        seed = seed_plan_from_pragma(ir, instance)
-        if force_gmem:
-            # The global version tiles all three dimensions (§VIII-F:
-            # plain tiling beats streaming when nothing is buffered).
-            seed = seed.replace(
-                streaming="none",
-                block=(4, 4, 16),
-                placements=tuple(
-                    (array, GMEM) for array, _ in seed.placements
-                ),
-            )
-        else:
-            seed = auto_assign(ir, seed, device).plan
-        kernel_advice = advise(ir, seed, device)
+        with _span("planning", kernel=instance.name):
+            seed = seed_plan_from_pragma(ir, instance)
+            if force_gmem:
+                # The global version tiles all three dimensions (§VIII-F:
+                # plain tiling beats streaming when nothing is buffered).
+                seed = seed.replace(
+                    streaming="none",
+                    block=(4, 4, 16),
+                    placements=tuple(
+                        (array, GMEM) for array, _ in seed.placements
+                    ),
+                )
+            else:
+                seed = auto_assign(ir, seed, device).plan
+        with _span("analysis", kernel=instance.name):
+            kernel_advice = advise(ir, seed, device)
         advice_list.append(kernel_advice)
         tuner = HierarchicalTuner(
             ir,

@@ -8,18 +8,50 @@ profiling verdicts and any generated fission candidates.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import simulate
+from ..obs import Span, aggregate_phases, get_tracer, tracing_enabled
 from ..profiling.roofline import classify_result
 from .artemis import OptimizationOutcome
 
 
+def format_phase_timings(spans: Sequence[Span]) -> List[str]:
+    """Per-phase timing table: one row per span name.
+
+    ``total`` sums every span of that name; ``self`` excludes time
+    already billed to child phases (so "tuning" does not re-count its
+    "tuning.stage1"/"tuning.stage2" sub-phases or the simulations they
+    ran).
+    """
+    totals = aggregate_phases(spans)
+    if not totals:
+        return []
+    lines = ["phase timings:"]
+    name_width = max(24, max(len(p.name) for p in totals) + 2)
+    lines.append(
+        f"  {'phase':{name_width}s} {'calls':>7s} {'total ms':>10s} "
+        f"{'self ms':>10s}"
+    )
+    for phase in totals:
+        lines.append(
+            f"  {phase.name:{name_width}s} {phase.count:7d} "
+            f"{phase.total_s * 1e3:10.2f} {phase.self_s * 1e3:10.2f}"
+        )
+    return lines
+
+
 def format_report(
-    outcome: OptimizationOutcome, device: DeviceSpec = P100
+    outcome: OptimizationOutcome,
+    device: DeviceSpec = P100,
+    phase_spans: Optional[Sequence[Span]] = None,
 ) -> str:
-    """Render an optimization outcome as a textual report."""
+    """Render an optimization outcome as a textual report.
+
+    When tracing is active (or ``phase_spans`` is passed explicitly), a
+    per-phase timing table is appended after the eval-stats block.
+    """
     lines: List[str] = []
     lines.append("=" * 72)
     lines.append("ARTEMIS optimization report")
@@ -36,8 +68,15 @@ def format_report(
         )
         lines.append(
             f"                 {stats.simulations_avoided} simulations "
-            f"avoided, {stats.wall_s * 1e3:.1f} ms in evaluation"
+            f"avoided, {stats.wall_s * 1e3:.1f} ms wall "
+            f"({stats.cpu_s * 1e3:.1f} ms cpu-sum) in evaluation"
         )
+    spans = phase_spans
+    if spans is None and tracing_enabled():
+        spans = get_tracer().finished()
+    if spans:
+        lines.append("")
+        lines.extend(format_phase_timings(spans))
     lines.append("")
     lines.append("launches:")
     for plan, count in zip(outcome.schedule.plans, outcome.schedule.counts):

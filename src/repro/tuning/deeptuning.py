@@ -22,6 +22,7 @@ from ..codegen.resources import auto_assign, seed_plan_from_pragma
 from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
+from ..obs import span as _span
 from ..profiling.roofline import classify_result
 from .evaluator import EvalStats, Measurement, PlanEvaluator
 from .hierarchical import HierarchicalTuner, TuningResult
@@ -107,42 +108,47 @@ def deep_tune(
     instance = ir.kernels[0]
     entries: List[DeepTuningEntry] = []
     evaluations = 0
-    for degree in range(1, max_degree + 1):
-        base = seed_plan_from_pragma(ir, instance).replace(time_tile=degree)
-        base = auto_assign(ir, base, engine.device).plan
-        tuner = HierarchicalTuner(
-            ir,
-            use_register_opts=use_register_opts,
-            top_k=top_k,
-            evaluator=engine,
-            workers=workers,
-        )
-        try:
-            result = tuner.tune(base)
-        except PlanInfeasible:
-            break
-        evaluations += tuner.evaluations
-        # The winner was just tuned, so this classification simulation
-        # is a cache hit — the identical SimulationResult object.
-        sim = engine.evaluate(ir, result.best_plan)
-        report = classify_result(sim, engine.device)
-        bandwidth = report.bound_level in ("dram", "tex", "shm")
-        entries.append(
-            DeepTuningEntry(
-                time_tile=degree,
-                measurement=result.best,
-                bandwidth_bound=bandwidth,
-                bound_level=report.bound_level,
+    with _span("deep_tune", max_degree=max_degree):
+        for degree in range(1, max_degree + 1):
+            with _span("deep_tune.degree", degree=degree):
+                with _span("planning", kernel=instance.name, degree=degree):
+                    base = seed_plan_from_pragma(ir, instance).replace(
+                        time_tile=degree
+                    )
+                    base = auto_assign(ir, base, engine.device).plan
+                tuner = HierarchicalTuner(
+                    ir,
+                    use_register_opts=use_register_opts,
+                    top_k=top_k,
+                    evaluator=engine,
+                    workers=workers,
+                )
+                try:
+                    result = tuner.tune(base)
+                except PlanInfeasible:
+                    break
+                evaluations += tuner.evaluations
+                # The winner was just tuned, so this classification simulation
+                # is a cache hit — the identical SimulationResult object.
+                sim = engine.evaluate(ir, result.best_plan)
+                report = classify_result(sim, engine.device)
+            bandwidth = report.bound_level in ("dram", "tex", "shm")
+            entries.append(
+                DeepTuningEntry(
+                    time_tile=degree,
+                    measurement=result.best,
+                    bandwidth_bound=bandwidth,
+                    bound_level=report.bound_level,
+                )
             )
-        )
-        # Fusion helps only bandwidth-bound versions: stop otherwise.
-        if not bandwidth:
-            break
-        # Stop when the fused version got slower per step (the cusp).
-        if degree >= 2:
-            prev = entries[-2]
-            if entries[-1].time_s / degree > prev.time_s / prev.time_tile:
+            # Fusion helps only bandwidth-bound versions: stop otherwise.
+            if not bandwidth:
                 break
+            # Stop when the fused version got slower per step (the cusp).
+            if degree >= 2:
+                prev = entries[-2]
+                if entries[-1].time_s / degree > prev.time_s / prev.time_tile:
+                    break
     if not entries:
         raise PlanInfeasible("no fusion degree could be tuned")
     return DeepTuningResult(

@@ -57,6 +57,7 @@ from ..gpu.simulator import (
     simulate,
 )
 from ..ir.stencil import ProgramIR
+from ..obs import span as _span
 
 #: Exceptions that mark a candidate as infeasible rather than a bug.
 INFEASIBLE = (PlanInfeasible, InvalidPlan)
@@ -79,7 +80,17 @@ class Measurement:
 
 @dataclass
 class EvalStats:
-    """Cache and throughput statistics of one evaluation engine."""
+    """Cache and throughput statistics of one evaluation engine.
+
+    Two time counters with distinct semantics:
+
+    * ``wall_s`` — real elapsed time during which *at least one* thread
+      was inside the engine (overlapping busy intervals are merged, so
+      a 4-worker batch reports the batch's true duration);
+    * ``cpu_s`` — per-thread time summed across workers (what the
+      pre-fix ``wall_s`` reported; under concurrency it exceeds
+      ``wall_s`` by up to the worker count).
+    """
 
     requests: int = 0  # candidate evaluations requested
     hits: int = 0  # served from the result cache
@@ -87,7 +98,8 @@ class EvalStats:
     infeasible: int = 0  # requests that turned out infeasible
     rungs_skipped: int = 0  # escalation rungs resolved without simulating
     screened: int = 0  # rejected by the occupancy screen, not simulated
-    wall_s: float = 0.0  # time spent inside the engine
+    wall_s: float = 0.0  # real time the engine was busy (intervals merged)
+    cpu_s: float = 0.0  # summed per-thread time inside the engine
 
     @property
     def simulations(self) -> int:
@@ -108,6 +120,7 @@ class EvalStats:
             rungs_skipped=self.rungs_skipped,
             screened=self.screened,
             wall_s=self.wall_s,
+            cpu_s=self.cpu_s,
         )
 
     def since(self, before: "EvalStats") -> "EvalStats":
@@ -120,6 +133,7 @@ class EvalStats:
             rungs_skipped=self.rungs_skipped - before.rungs_skipped,
             screened=self.screened - before.screened,
             wall_s=self.wall_s - before.wall_s,
+            cpu_s=self.cpu_s - before.cpu_s,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -133,7 +147,20 @@ class EvalStats:
             "simulations": self.simulations,
             "simulations_avoided": self.simulations_avoided,
             "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
         }
+
+    def publish(self, prefix: str = "eval") -> None:
+        """Mirror these statistics into the process metrics registry."""
+        from ..obs import metrics_enabled, counter, histogram
+
+        if not metrics_enabled():
+            return
+        for name, value in self.as_dict().items():
+            if name in ("wall_s", "cpu_s"):
+                histogram(f"{prefix}.{name}").observe(value)
+            else:
+                counter(f"{prefix}.{name}").add(value)
 
     def describe(self) -> str:
         return (
@@ -141,7 +168,8 @@ class EvalStats:
             f"{self.simulations} simulated, {self.rungs_skipped} rungs "
             f"skipped, {self.screened} screened "
             f"({self.simulations_avoided} simulations avoided), "
-            f"{self.wall_s * 1e3:.1f} ms"
+            f"{self.wall_s * 1e3:.1f} ms wall "
+            f"({self.cpu_s * 1e3:.1f} ms cpu-sum)"
         )
 
 
@@ -215,6 +243,13 @@ class PlanEvaluator:
         #: key -> (ir, ("ok", SimulationResult) | ("fail", exception))
         self._cache: Dict[tuple, tuple] = {}
         self._lock = threading.Lock()
+        # Busy-interval tracking for honest wall-clock accounting: the
+        # number of threads currently inside the engine and when the
+        # current busy interval opened.  ``wall_s`` accumulates merged
+        # intervals; ``cpu_s`` sums each thread's outermost frame.
+        self._busy = 0
+        self._busy_open = 0.0
+        self._depth = threading.local()
 
     @classmethod
     def seed_mode(cls, device: DeviceSpec = P100) -> "PlanEvaluator":
@@ -229,6 +264,42 @@ class PlanEvaluator:
             device=device, memoize=False, escalation="ladder", prescreen=False
         )
 
+    # -- timing ----------------------------------------------------------------
+
+    @contextmanager
+    def _timed(self):
+        """Account engine time: merged-interval wall + per-thread cpu sum.
+
+        Only a thread's *outermost* engine frame participates (nested
+        calls — ``evaluate_spill_free`` invoking ``evaluate`` — must not
+        double-bill), and overlapping frames from concurrent workers
+        extend one shared busy interval instead of each adding their
+        own full delta.
+        """
+        depth = getattr(self._depth, "value", 0)
+        self._depth.value = depth + 1
+        if depth > 0:
+            try:
+                yield
+            finally:
+                self._depth.value = depth
+            return
+        start = time.perf_counter()
+        with self._lock:
+            if self._busy == 0:
+                self._busy_open = start
+            self._busy += 1
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            self._depth.value = depth
+            with self._lock:
+                self.stats.cpu_s += end - start
+                self._busy -= 1
+                if self._busy == 0:
+                    self.stats.wall_s += end - self._busy_open
+
     # -- single evaluation -----------------------------------------------------
 
     def _key(self, ir: ProgramIR, plan: KernelPlan) -> tuple:
@@ -240,11 +311,8 @@ class PlanEvaluator:
         Raises :class:`PlanInfeasible` / :class:`InvalidPlan` exactly as
         the direct ``validate_plan`` + ``simulate`` path would.
         """
-        start = time.perf_counter()
-        try:
+        with self._timed():
             return self._evaluate(ir, plan)
-        finally:
-            self.stats.wall_s += time.perf_counter() - start
 
     def _evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
         self.stats.requests += 1
@@ -318,11 +386,8 @@ class PlanEvaluator:
         chosen plan and its simulated result are identical to walking
         the full ladder.
         """
-        start = time.perf_counter()
-        try:
+        with self._timed():
             return self._evaluate_spill_free(ir, plan, tuple(levels))
-        finally:
-            self.stats.wall_s += time.perf_counter() - start
 
     def _evaluate_spill_free(
         self, ir: ProgramIR, plan: KernelPlan, levels: Tuple[int, ...]
@@ -396,10 +461,12 @@ class PlanEvaluator:
     def _run_batch(self, jobs, workers: Optional[int]) -> List:
         count = workers if workers is not None else self.workers
         if count is None or count <= 1 or len(jobs) <= 1:
-            return [job() for job in jobs]
-        with ThreadPoolExecutor(max_workers=count) as pool:
-            futures = [pool.submit(job) for job in jobs]
-            return [future.result() for future in futures]
+            with _span("eval.batch", candidates=len(jobs), workers=1):
+                return [job() for job in jobs]
+        with _span("eval.batch", candidates=len(jobs), workers=count):
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                futures = [pool.submit(job) for job in jobs]
+                return [future.result() for future in futures]
 
     # -- maintenance -----------------------------------------------------------
 

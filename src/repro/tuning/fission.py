@@ -261,6 +261,13 @@ def dedupe_candidates(
 
 def generate_fission_candidates(ir: ProgramIR) -> Tuple[FissionCandidate, ...]:
     """Produce the maxfuse / trivial-fission / recompute-fission variants."""
+    from ..obs import span
+
+    with span("fission", kernels=len(ir.kernels)):
+        return _generate_fission_candidates(ir)
+
+
+def _generate_fission_candidates(ir: ProgramIR) -> Tuple[FissionCandidate, ...]:
     candidates: List[FissionCandidate] = []
 
     fused_ir = maxfuse(ir)

@@ -47,6 +47,8 @@ from ..gpu.simulator import PlanInfeasible
 from ..ir.folding import find_fold_groups
 from ..ir.homogenize import kernel_retimable
 from ..ir.stencil import ProgramIR
+from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
+from ..obs import span as _span
 from .evaluator import EvalStats, Measurement, PlanEvaluator
 from .space import SearchSpace, seed_variants
 
@@ -190,10 +192,11 @@ class HierarchicalTuner:
 
     def tune(self, base: KernelPlan) -> TuningResult:
         stats_before = self.evaluator.stats.snapshot()
-        if self.hierarchy is not None:
-            result = self._tune_custom(base)
-        else:
-            result = self._tune_two_stage(base)
+        with _span("tuning", kernels="+".join(base.kernel_names)):
+            if self.hierarchy is not None:
+                result = self._tune_custom(base)
+            else:
+                result = self._tune_two_stage(base)
         return dataclass_replace_stats(
             result, self.evaluator.stats.since(stats_before)
         )
@@ -223,26 +226,35 @@ class HierarchicalTuner:
         )
 
     def _stage1(self, base: KernelPlan) -> List[Measurement]:
-        space = SearchSpace(
-            ndim=self.ir.ndim,
-            streaming=base.uses_streaming,
-            bandwidth_bound=self.bandwidth_bound,
-            allow_unroll=self.use_unrolling,
-            device=self.device,
-        )
-        retimable = self._retimable(base)
-        candidates: List[KernelPlan] = []
-        for variant in seed_variants(base, space):
-            candidates.append(variant)
-            if retimable and variant.total_unroll() == 1:
-                # Register-level optimizations change which block sizes
-                # win; explore the retimed shape of each block up front.
-                candidates.append(variant.replace(retime=True))
-        results = [
-            m for m in self._measure_batch(candidates) if m is not None
-        ]
-        results.sort(key=lambda m: m.time_s)
-        return results[: self.top_k]
+        with _span("tuning.stage1") as stage_span:
+            space = SearchSpace(
+                ndim=self.ir.ndim,
+                streaming=base.uses_streaming,
+                bandwidth_bound=self.bandwidth_bound,
+                allow_unroll=self.use_unrolling,
+                device=self.device,
+            )
+            retimable = self._retimable(base)
+            candidates: List[KernelPlan] = []
+            for variant in seed_variants(base, space):
+                candidates.append(variant)
+                if retimable and variant.total_unroll() == 1:
+                    # Register-level optimizations change which block
+                    # sizes win; explore the retimed shape of each block
+                    # up front.
+                    candidates.append(variant.replace(retime=True))
+            results = [
+                m for m in self._measure_batch(candidates) if m is not None
+            ]
+            results.sort(key=lambda m: m.time_s)
+            if _metrics_enabled():
+                _counter("tuner.stage1.candidates").add(len(candidates))
+                _counter("tuner.stage1.feasible").add(len(results))
+            if stage_span is not None:
+                stage_span.attributes.update(
+                    candidates=len(candidates), feasible=len(results)
+                )
+            return results[: self.top_k]
 
     def _retimable(self, plan: KernelPlan) -> bool:
         if not (self.use_register_opts and plan.uses_streaming):
@@ -258,20 +270,25 @@ class HierarchicalTuner:
         # second-tier variant — e.g. retiming a survivor that stage 1
         # already explored retimed.  Deduplicate by plan-family
         # fingerprint so each distinct configuration is measured once.
-        candidates: List[KernelPlan] = []
-        seen = set(self._measured_families)
-        for survivor in survivors:
-            for variant in self._stage2_variants(survivor.plan):
-                family = plan_family_key(variant)
-                if family in seen:
-                    continue
-                seen.add(family)
-                candidates.append(variant)
-        best = survivors[0]
-        for measurement in self._measure_batch(candidates):
-            if measurement is not None and measurement.time_s < best.time_s:
-                best = measurement
-        return best
+        with _span("tuning.stage2", survivors=len(survivors)) as stage_span:
+            candidates: List[KernelPlan] = []
+            seen = set(self._measured_families)
+            for survivor in survivors:
+                for variant in self._stage2_variants(survivor.plan):
+                    family = plan_family_key(variant)
+                    if family in seen:
+                        continue
+                    seen.add(family)
+                    candidates.append(variant)
+            best = survivors[0]
+            for measurement in self._measure_batch(candidates):
+                if measurement is not None and measurement.time_s < best.time_s:
+                    best = measurement
+            if _metrics_enabled():
+                _counter("tuner.stage2.candidates").add(len(candidates))
+            if stage_span is not None:
+                stage_span.attributes["candidates"] = len(candidates)
+            return best
 
     def _stage2_variants(self, plan: KernelPlan) -> Iterable[KernelPlan]:
         yield plan.replace(prefetch=True)
@@ -306,9 +323,10 @@ class HierarchicalTuner:
             level_plans: List[KernelPlan] = []
             for plan in survivors:
                 level_plans.extend(generator(self.ir, plan))
-            measured = [
-                m for m in self._measure_batch(level_plans) if m is not None
-            ]
+            with _span(f"tuning.level{depth + 1}", candidates=len(level_plans)):
+                measured = [
+                    m for m in self._measure_batch(level_plans) if m is not None
+                ]
             measured.sort(key=lambda m: m.time_s)
             if measured:
                 survivors = [m.plan for m in measured[: self.top_k]]

@@ -186,3 +186,168 @@ def test_random_plan_simulates_and_emits(case):
         source = emit_cuda(ir, plan).source
         assert source.count("{") == source.count("}")
         assert "__global__" in source
+
+
+# ---------------------------------------------------------------------------
+# fission candidates: every generated split must preserve semantics
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def multi_output_programs(draw):
+    """Single-kernel programs writing 2-3 outputs through shared locals
+    (the paper's Figure 3 shape, which fission splits apart)."""
+    size = draw(st.sampled_from([12, 15, 18]))
+    n_outputs = draw(st.integers(2, 3))
+    shared = draw(stencil_terms(array="A", min_terms=2, max_terms=4))
+    lines = [f"t0 = {shared};"]
+    for index in range(n_outputs):
+        own = draw(stencil_terms(array="A", min_terms=1, max_terms=3))
+        coeff = draw(st.integers(1, 9))
+        lines.append(f"O{index}[k][j][i] = 0.{coeff}*t0 + {own};")
+    outs = [f"out{index}" for index in range(n_outputs)]
+    formals = [f"O{index}" for index in range(n_outputs)]
+    decls = ", ".join(f"{name}[L,M,N]" for name in outs)
+    body = "\n      ".join(lines)
+    text = f"""
+    parameter L={size}, M={size}, N={size};
+    iterator k, j, i;
+    double in[L,M,N], {decls};
+    copyin in;
+    stencil multi ({', '.join(formals)}, A) {{
+      {body}
+    }}
+    multi ({', '.join(outs)}, in);
+    copyout {', '.join(outs)};
+    """
+    return text
+
+
+@st.composite
+def shared_geometry(draw):
+    """One random legal launch geometry, reused across a DAG's kernels."""
+    streaming = draw(st.sampled_from(["serial", "concurrent", "none"]))
+    if streaming == "none":
+        block = draw(st.sampled_from([(4, 4, 4), (2, 4, 8), (3, 5, 7)]))
+        unroll = (1, 1, 1)
+    else:
+        block = draw(st.sampled_from([(4, 4), (8, 4), (5, 6)]))
+        unroll = draw(st.sampled_from([(1, 1, 1), (1, 2, 1), (1, 1, 2)]))
+    return dict(
+        block=block,
+        streaming=streaming,
+        stream_axis=0,
+        concurrent_chunks=draw(st.sampled_from([1, 2]))
+        if streaming == "concurrent"
+        else 1,
+        unroll=unroll,
+        prefetch=draw(st.booleans()),
+        perspective=draw(st.sampled_from(["output", "input", "mixed"])),
+    )
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_fission_candidates_match_reference(data):
+    """trivial/recompute/maxfuse variants compute bitwise what the
+    original multi-output kernel computes, under random legal plans."""
+    from repro.codegen import ProgramPlan
+    from repro.gpu.executor import execute_program_plan
+    from repro.tuning.fission import generate_fission_candidates
+
+    text = data.draw(multi_output_programs())
+    ir = build_ir(parse(text))
+    inputs = allocate_inputs(ir)
+    scalars = default_scalars(ir)
+    reference = execute_reference(ir, inputs, scalars, time_iterations=1)
+
+    candidates = generate_fission_candidates(ir)
+    assert candidates  # the three §VI-B versions
+    for candidate in candidates:
+        geometry = data.draw(shared_geometry())
+        plans = tuple(
+            KernelPlan(kernel_names=(kernel.name,), **geometry)
+            for kernel in candidate.ir.kernels
+        )
+        for plan in plans:
+            validate_plan(candidate.ir, plan)
+        got = execute_program_plan(
+            candidate.ir, ProgramPlan(plans=plans), inputs, scalars
+        )
+        for name in ir.copyout:
+            assert np.array_equal(reference[name], got[name]), (
+                candidate.label,
+                [p.describe() for p in plans],
+            )
+
+
+# ---------------------------------------------------------------------------
+# deep-tuned schedules: mixed time tiles + launch counts + ping-pong
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def iterative_program_and_schedule(draw):
+    """An iterative stencil plus a random opt(T)-style launch schedule
+    mixing fusion degrees, exactly what deep tuning materializes."""
+    body = draw(stencil_terms())
+    size = draw(st.sampled_from([14, 17]))
+    text = f"""
+    parameter L={size}, M={size}, N={size};
+    iterator k, j, i;
+    double in[L,M,N], out[L,M,N];
+    copyin in;
+    iterate 8;
+    stencil first (B, A) {{
+      B[k][j][i] = {body};
+    }}
+    first (out, in);
+    copyout out;
+    """
+    ir = build_ir(parse(text))
+    tiles = draw(
+        st.lists(st.integers(1, 3), min_size=1, max_size=4)
+    )
+    geometry = draw(shared_geometry())
+    per_tile = {
+        tile: KernelPlan(
+            kernel_names=(ir.kernels[0].name,), time_tile=tile, **geometry
+        )
+        for tile in set(tiles)
+    }
+    # Run-length encode consecutive launches the way
+    # schedule_to_program_plan does.
+    plans, counts = [], []
+    for tile in tiles:
+        plan = per_tile[tile]
+        if plans and plans[-1] is plan:
+            counts[-1] += 1
+        else:
+            plans.append(plan)
+            counts.append(1)
+    return ir, tuple(plans), tuple(counts), sum(tiles)
+
+
+@given(iterative_program_and_schedule())
+@settings(max_examples=30, deadline=None)
+def test_deep_tuned_schedule_matches_reference(case):
+    """A mixed-degree launch schedule over T iterations equals T steps
+    of the reference interpreter, bitwise (ping-pong swap included)."""
+    from repro.codegen import ProgramPlan
+    from repro.gpu.executor import execute_program_plan
+
+    ir, plans, counts, total_steps = case
+    for plan in plans:
+        validate_plan(ir, plan)
+    inputs = allocate_inputs(ir)
+    scalars = default_scalars(ir)
+    reference = execute_reference(
+        ir, inputs, scalars, time_iterations=total_steps
+    )
+    schedule = ProgramPlan(plans=plans, launch_counts=counts)
+    got = execute_program_plan(ir, schedule, inputs, scalars)
+    for name in ir.copyout:
+        assert np.array_equal(reference[name], got[name]), (
+            [p.describe() for p in plans],
+            counts,
+        )

@@ -1,0 +1,138 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure_metrics,
+    get_metrics,
+    metrics_enabled,
+)
+
+
+class TestTypes:
+    def test_counter_accumulates(self):
+        c = Counter("hits")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert c.as_dict() == {"type": "counter", "value": 5}
+
+    def test_counter_rejects_negative(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("size")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+        assert g.as_dict()["type"] == "gauge"
+
+    def test_histogram_summary(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["sum"] == 6.0
+        assert d["min"] == 1.0 and d["max"] == 3.0
+        assert d["mean"] == 2.0
+
+    def test_histogram_reservoir_bounded(self):
+        h = Histogram("lat", capacity=4)
+        for v in range(100):
+            h.observe(v)
+        assert h.count == 100
+        assert len(h._recent) == 4
+        assert h._recent == [96.0, 97.0, 98.0, 99.0]
+
+    def test_empty_histogram_is_finite(self):
+        d = Histogram("lat").as_dict()
+        assert d["count"] == 0 and d["min"] == 0.0 and d["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_created_on_first_use_then_shared(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").add(2)
+        reg.gauge("a").set(1.5)
+        reg.histogram("c").observe(0.25)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        json.dumps(snap)  # must serialize without a custom encoder
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("x").add()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+
+        def work():
+            c = reg.counter("shared")
+            for _ in range(1000):
+                c.add()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("shared").value == 8000
+
+
+class TestGlobalRegistry:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+
+    def test_configure_toggles_and_resets(self):
+        reg = configure_metrics(True, reset=True)
+        try:
+            assert metrics_enabled()
+            assert reg is get_metrics()
+            reg.counter("t").add()
+            assert len(reg) == 1
+        finally:
+            configure_metrics(False, reset=True)
+        assert not metrics_enabled()
+        assert len(get_metrics()) == 0
+
+    def test_eval_stats_publish_respects_flag(self):
+        from repro.tuning.evaluator import EvalStats
+
+        stats = EvalStats(requests=3, hits=1, misses=2, wall_s=0.5, cpu_s=0.5)
+        stats.publish()  # disabled: must record nothing
+        assert len(get_metrics()) == 0
+        configure_metrics(True, reset=True)
+        try:
+            stats.publish()
+            snap = get_metrics().snapshot()
+            assert snap["eval.requests"]["value"] == 3
+            assert snap["eval.wall_s"]["count"] == 1
+            assert snap["eval.wall_s"]["sum"] == 0.5
+        finally:
+            configure_metrics(False, reset=True)

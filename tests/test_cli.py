@@ -98,3 +98,154 @@ class TestDeepTune:
     def test_rejects_spatial(self):
         with pytest.raises(SystemExit):
             main(["deep-tune", "rhs4center"])
+
+
+class TestSuiteOutput:
+    def test_exit_code_and_header(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("benchmark")
+        assert "notes" in out.splitlines()[0]
+
+    def test_rejects_extra_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "7pt-smoother"])
+
+
+class TestCudaOutput:
+    def test_dsl_file_input(self, tmp_path, capsys):
+        spec = tmp_path / "s.dsl"
+        spec.write_text(
+            """
+            parameter N=64;
+            iterator k, j, i;
+            double a[N,N,N], b[N,N,N];
+            copyin a;
+            stencil s (b, a) { b[k][j][i] = a[k][j][i+1] + a[k][j][i-1]; }
+            s (b, a);
+            copyout b;
+            """
+        )
+        assert main(["cuda", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("{") == out.count("}")
+
+    def test_missing_source_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["cuda", "no_such_benchmark"])
+        assert exc.value.code != 0
+
+
+class TestProfileOutput:
+    def test_v100_device(self, capsys):
+        assert main(["profile", "7pt-smoother", "--device", "V100"]) == 0
+        out = capsys.readouterr().out
+        assert "bound at:" in out
+
+    def test_unknown_device_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "7pt-smoother", "--device", "H100"])
+        assert exc.value.code != 0
+
+
+class TestObservabilityFlags:
+    """--trace / --metrics end-to-end through the real subcommands."""
+
+    def _load_trace(self, path):
+        import json
+
+        with open(path) as handle:
+            return json.load(handle)
+
+    def _span_names(self, document):
+        return {
+            e["name"] for e in document["traceEvents"] if e.get("ph") == "X"
+        }
+
+    def test_optimize_trace_covers_every_phase(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main([
+            "optimize", "7pt-smoother", "--top-k", "1", "--trace", str(trace)
+        ]) == 0
+        document = self._load_trace(trace)
+        names = self._span_names(document)
+
+        def covered(phase):
+            return any(
+                n == phase or n.startswith(phase + ".") for n in names
+            )
+
+        for phase in ("parse", "analysis", "planning", "tuning.stage1",
+                      "tuning.stage2", "simulate", "optimize", "deep_tune"):
+            assert covered(phase), f"missing phase span: {phase}"
+        # Metrics ride along and mirror the evaluation-engine stats.
+        metrics = document["otherData"]["metrics"]
+        assert metrics["eval.requests"]["value"] > 0
+        assert metrics["eval.simulations"]["value"] > 0
+        assert metrics["simulate.calls"]["value"] > 0
+        err = capsys.readouterr().err
+        assert "spans written" in err
+
+    def test_trace_report_includes_phase_table(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main([
+            "optimize", "7pt-smoother", "--top-k", "1", "--trace", str(trace)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings:" in out
+        assert "total ms" in out
+
+    def test_metrics_flag_prints_table(self, capsys):
+        assert main([
+            "optimize", "7pt-smoother", "--top-k", "1", "--metrics"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline metrics:" in out
+        assert "eval.requests" in out
+        assert "tuner.stage1.candidates" in out
+
+    def test_flat_trace_format(self, tmp_path):
+        trace = tmp_path / "flat.json"
+        assert main([
+            "optimize", "7pt-smoother", "--top-k", "1",
+            "--trace", str(trace), "--trace-format", "flat",
+        ]) == 0
+        document = self._load_trace(trace)
+        assert "spans" in document and "metrics" in document
+        assert any(s["name"] == "optimize" for s in document["spans"])
+
+    def test_profile_trace(self, tmp_path):
+        trace = tmp_path / "p.json"
+        assert main(["profile", "7pt-smoother", "--trace", str(trace)]) == 0
+        names = self._span_names(self._load_trace(trace))
+        assert "profile" in names
+        assert "lower" in names
+
+    def test_deep_tune_trace(self, tmp_path):
+        trace = tmp_path / "d.json"
+        assert main([
+            "deep-tune", "7pt-smoother", "-T", "6", "--trace", str(trace)
+        ]) == 0
+        names = self._span_names(self._load_trace(trace))
+        assert "deep_tune" in names
+        assert "deep_tune.degree" in names
+        assert "planning" in names
+
+    def test_collection_disabled_after_run(self, tmp_path):
+        from repro.obs import metrics_enabled, tracing_enabled
+
+        trace = tmp_path / "t.json"
+        assert main([
+            "optimize", "7pt-smoother", "--top-k", "1",
+            "--trace", str(trace), "--metrics",
+        ]) == 0
+        assert not tracing_enabled()
+        assert not metrics_enabled()
+
+    def test_no_flags_records_nothing(self, capsys):
+        from repro.obs import get_tracer
+
+        before = len(get_tracer().finished())
+        assert main(["optimize", "7pt-smoother", "--top-k", "1"]) == 0
+        assert len(get_tracer().finished()) == before
+        assert "phase timings:" not in capsys.readouterr().out
