@@ -86,7 +86,7 @@ def test_evaluator_speedup(name):
 
 def test_write_bench_json():
     # Runs after the parametrized cases (pytest preserves file order).
+    from repro.resilience import atomic_write_json
+
     assert set(_results) == set(KERNELS)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(_results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(OUT_PATH, _results, indent=2, sort_keys=True)

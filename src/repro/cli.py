@@ -19,6 +19,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional
@@ -35,7 +36,15 @@ from .obs import (
 )
 from .pipeline import format_report, optimize
 from .profiling import classify_result, profile
+from .resilience import (
+    ON_ERROR_POLICIES,
+    ReproError,
+    RetryPolicy,
+    TuningJournal,
+    UsageError,
+)
 from .suite import BENCHMARKS, get as get_benchmark
+from .tuning import PlanEvaluator
 
 
 def _load(source: str):
@@ -106,6 +115,78 @@ def _print_metrics() -> None:
             print(f"  {name:36s} {rendered}")
 
 
+def _fault_injector_from_env():
+    """Chaos-mode fault injector, armed by environment variables.
+
+    ``REPRO_CHAOS_RATE`` (a fraction) turns injection on;
+    ``REPRO_CHAOS_SEED``, ``REPRO_CHAOS_KIND`` and
+    ``REPRO_CHAOS_TRANSIENT`` refine it.  CI's chaos job drives seeded
+    fault injection through real CLI runs this way (``docs/robustness.md``).
+    """
+    rate = os.environ.get("REPRO_CHAOS_RATE")
+    if not rate:
+        return None
+    from .resilience import FaultInjector
+
+    return FaultInjector(
+        rate=float(rate),
+        seed=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+        kind=os.environ.get("REPRO_CHAOS_KIND", "error"),
+        transient_failures=int(os.environ.get("REPRO_CHAOS_TRANSIENT", "0")),
+    )
+
+
+def _resilience_engine(args, device: DeviceSpec) -> PlanEvaluator:
+    """Build the evaluation engine from the resilience flags."""
+    retries = getattr(args, "retries", 0) or 0
+    if retries < 0:
+        raise UsageError("--retries must be non-negative")
+    return PlanEvaluator(
+        device=device,
+        workers=getattr(args, "workers", None),
+        on_error=getattr(args, "on_error", "fail-fast"),
+        retry=RetryPolicy(max_retries=retries) if retries else None,
+        timeout_s=getattr(args, "eval_timeout", None),
+        failure_budget=getattr(args, "failure_budget", None),
+        fault_injector=_fault_injector_from_env(),
+    )
+
+
+def _open_journal(args, device: DeviceSpec) -> Optional[TuningJournal]:
+    """Open the checkpoint journal named by --checkpoint/--resume."""
+    path = getattr(args, "checkpoint", None)
+    if path is None:
+        if getattr(args, "resume", False):
+            raise UsageError("--resume requires --checkpoint PATH")
+        return None
+    exists = os.path.exists(path) and os.path.getsize(path) > 0
+    if exists and not args.resume:
+        raise UsageError(
+            f"checkpoint {path} already exists; pass --resume to continue "
+            f"it, or remove the file to start fresh"
+        )
+    if args.resume and not exists:
+        raise UsageError(f"cannot --resume: checkpoint {path} does not exist")
+    journal = TuningJournal(path, device=device.name)
+    if journal.replayable:
+        print(
+            f"checkpoint: resuming from {path} "
+            f"({journal.replayable} journaled records)",
+            file=sys.stderr,
+        )
+    return journal
+
+
+def _warn_failures(stats, args) -> None:
+    if stats is not None and stats.failures:
+        print(
+            f"warning: {stats.failures} candidate evaluation(s) failed "
+            f"persistently (on-error={getattr(args, 'on_error', 'fail-fast')}; "
+            f"see --eval-stats)",
+            file=sys.stderr,
+        )
+
+
 def cmd_characteristics(args) -> int:
     ir = _load(args.spec)
     row = characteristics(ir)
@@ -121,18 +202,27 @@ def cmd_characteristics(args) -> int:
 
 def cmd_optimize(args) -> int:
     ir = _load(args.spec)
-    outcome = optimize(
-        ir,
-        device=_device(args.device),
-        iterations=args.iterations,
-        top_k=args.top_k,
-        workers=args.workers,
-    )
+    device = _device(args.device)
+    engine = _resilience_engine(args, device)
+    journal = _open_journal(args, device)
+    try:
+        outcome = optimize(
+            ir,
+            device=device,
+            iterations=args.iterations,
+            top_k=args.top_k,
+            evaluator=engine,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     if outcome.eval_stats is not None:
         outcome.eval_stats.publish()
-    print(format_report(outcome, _device(args.device)))
+    print(format_report(outcome, device))
     if args.eval_stats and outcome.eval_stats is not None:
         _print_eval_stats(outcome.eval_stats)
+    _warn_failures(outcome.eval_stats, args)
     return 0
 
 
@@ -199,13 +289,19 @@ def cmd_deep_tune(args) -> int:
         from .tuning.fusion import maxfuse
 
         ir = maxfuse(ir)
-    result = deep_tune(
-        ir, device=_device(args.device), workers=args.workers
-    )
+    device = _device(args.device)
+    engine = _resilience_engine(args, device)
+    journal = _open_journal(args, device)
+    try:
+        result = deep_tune(ir, evaluator=engine, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     if result.eval_stats is not None:
         result.eval_stats.publish()
     if args.eval_stats and result.eval_stats is not None:
         _print_eval_stats(result.eval_stats)
+    _warn_failures(result.eval_stats, args)
     for entry in result.entries:
         marker = (
             "  <-- tipping point"
@@ -228,6 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ARTEMIS-reproduction stencil compiler and autotuner",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="show full tracebacks instead of one-line error messages "
+             "(place before the command: repro --debug optimize ...)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -254,6 +355,37 @@ def build_parser() -> argparse.ArgumentParser:
         )
         return p
 
+    def add_resilience_flags(p):
+        p.add_argument(
+            "--checkpoint", metavar="PATH", default=None,
+            help="journal every evaluated candidate to PATH (crash-safe "
+                 "JSONL; see docs/robustness.md)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="resume an interrupted run from the --checkpoint journal",
+        )
+        p.add_argument(
+            "--on-error", choices=ON_ERROR_POLICIES, default="fail-fast",
+            help="persistent evaluation failures: abort the run, skip the "
+                 "candidate, or retry it on the degraded path",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="retry failed evaluations up to N times with exponential "
+                 "backoff",
+        )
+        p.add_argument(
+            "--eval-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-evaluation deadline; overruns count as failures",
+        )
+        p.add_argument(
+            "--failure-budget", type=int, default=None, metavar="N",
+            help="abort once more than N candidates were skipped/degraded "
+                 "(a systemic-breakage tripwire)",
+        )
+        return p
+
     def add_obs_flags(p):
         p.add_argument(
             "--trace", metavar="PATH", default=None,
@@ -277,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top-k", type=int, default=4,
                    help="stage-1 survivors carried into stage 2")
     add_eval_flags(p)
+    add_resilience_flags(p)
     add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
@@ -295,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     ))
     p.add_argument("-T", "--iterations", type=int, default=12)
     add_eval_flags(p)
+    add_resilience_flags(p)
     add_obs_flags(p)
     p.set_defaults(func=cmd_deep_tune)
 
@@ -307,6 +441,14 @@ def main(argv=None) -> int:
     _obs_begin(args)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # Error hygiene: one line per failure, mapped to a stable exit
+        # status (2 usage, 3 infeasible input, 4 evaluation/checkpoint
+        # failure).  --debug restores the traceback.
+        if getattr(args, "debug", False):
+            raise
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return exc.exit_code
     finally:
         _obs_finish(args)
 

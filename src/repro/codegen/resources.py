@@ -26,6 +26,7 @@ from ..ir.analysis import access_summary, read_halos
 from ..ir.homogenize import kernel_retimable
 from ..ir.stencil import ProgramIR, StencilInstance
 from ..ir.types import sizeof
+from ..resilience.errors import InfeasiblePlanError
 from .plan import GMEM, KernelPlan, REGISTER, SHMEM
 from .tiling import (
     build_stages,
@@ -36,8 +37,12 @@ from .tiling import (
 )
 
 
-class InvalidPlan(ValueError):
-    """Raised when a plan combines transformations illegally."""
+class InvalidPlan(InfeasiblePlanError):
+    """Raised when a plan combines transformations illegally.
+
+    Part of the :mod:`repro.resilience` taxonomy (and still a
+    ``ValueError``, as in the seed implementation).
+    """
 
 
 def validate_plan(ir: ProgramIR, plan: KernelPlan) -> None:

@@ -2,20 +2,31 @@
 
 Every frontend error carries a source location (line, column) so that a
 user editing a stencil specification can find the offending construct.
+All of them descend from :class:`repro.resilience.errors.ReproError`,
+so the CLI maps them to a one-line message and the "infeasible input"
+exit status (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
+from ..resilience.errors import ReproError
 
-class DSLError(Exception):
+
+class DSLError(ReproError):
     """Base class for all DSL frontend errors."""
 
+    exit_code = 3
+
     def __init__(self, message: str, line: int = 0, col: int = 0):
+        location = f" (line {line}, col {col})" if line else ""
+        super().__init__(
+            f"{message}{location}",
+            line=line or None,
+            col=col or None,
+        )
         self.message = message
         self.line = line
         self.col = col
-        location = f" (line {line}, col {col})" if line else ""
-        super().__init__(f"{message}{location}")
 
 
 class LexError(DSLError):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..resilience.errors import InfeasiblePlanError
 from .device import DeviceSpec
 
 
@@ -47,26 +48,33 @@ def occupancy(
 ) -> OccupancyResult:
     """Occupancy of a kernel with the given per-block footprint.
 
-    Raises ValueError when the configuration cannot launch at all (block
-    too large, or one block exceeds an SM's resources).
+    Raises :class:`InfeasiblePlanError` (a ``ValueError``) when the
+    configuration cannot launch at all (block too large, or one block
+    exceeds an SM's resources).
     """
     if threads_per_block < 1:
-        raise ValueError("threads_per_block must be positive")
+        raise InfeasiblePlanError("threads_per_block must be positive")
     if threads_per_block > device.max_threads_per_block:
-        raise ValueError(
+        raise InfeasiblePlanError(
             f"block of {threads_per_block} threads exceeds device limit "
-            f"{device.max_threads_per_block}"
+            f"{device.max_threads_per_block}",
+            threads=threads_per_block,
+            device=device.name,
         )
     if shmem_per_block > device.shared_mem_per_block:
-        raise ValueError(
+        raise InfeasiblePlanError(
             f"block needs {shmem_per_block} B shared memory, device allows "
-            f"{device.shared_mem_per_block} B per block"
+            f"{device.shared_mem_per_block} B per block",
+            shmem_bytes=shmem_per_block,
+            device=device.name,
         )
     regs_per_thread = max(1, regs_per_thread)
     if regs_per_thread > device.max_registers_per_thread:
-        raise ValueError(
+        raise InfeasiblePlanError(
             f"{regs_per_thread} registers/thread exceeds device limit "
-            f"{device.max_registers_per_thread}"
+            f"{device.max_registers_per_thread}",
+            registers=regs_per_thread,
+            device=device.name,
         )
 
     limits = {}
@@ -82,8 +90,10 @@ def occupancy(
     if blocks < 1:
         # One block alone exceeds the SM's registers or shared memory.
         limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
-        raise ValueError(
-            f"kernel cannot launch: resource {limiter!r} admits zero blocks"
+        raise InfeasiblePlanError(
+            f"kernel cannot launch: resource {limiter!r} admits zero blocks",
+            limiter=limiter,
+            device=device.name,
         )
     limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
     if blocks == device.max_blocks_per_sm and limiter != "blocks":

@@ -51,13 +51,19 @@ from ..ir.stencil import ProgramIR
 from ..ir.types import sizeof
 from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
 from ..obs import span as _span
+from ..resilience.errors import InfeasiblePlanError
 from .counters import KernelCounters, SimulationResult, TimingBreakdown
 from .device import DeviceSpec, P100
 from .occupancy import OccupancyResult, occupancy
 
 
-class PlanInfeasible(ValueError):
-    """Raised when a plan cannot launch on the device at all."""
+class PlanInfeasible(InfeasiblePlanError):
+    """Raised when a plan cannot launch on the device at all.
+
+    Part of the :mod:`repro.resilience` taxonomy (and still a
+    ``ValueError``, as in the seed implementation): tuners treat it as
+    "candidate rejected", never as a crash.
+    """
 
 
 #: Spilled registers are stored and reloaded about once per computed

@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..resilience.atomic import atomic_write_text
+from ..resilience.errors import UsageError
 from .metrics import MetricsRegistry, get_metrics
 from .tracer import Span, Tracer, get_tracer
 
@@ -129,17 +131,19 @@ def write_trace(
     """Serialize the trace to ``path``; returns the written document.
 
     ``fmt="chrome"`` (default) writes the chrome://tracing object form;
-    ``fmt="flat"`` writes the flat span/metrics JSON.
+    ``fmt="flat"`` writes the flat span/metrics JSON.  The write is
+    atomic (write-tmp-then-rename), so a crash mid-export can never
+    truncate an existing trace file.
     """
     if fmt == "chrome":
         document = chrome_trace(tracer, metrics)
     elif fmt == "flat":
         document = flat_json(tracer, metrics)
     else:
-        raise ValueError(f"unknown trace format {fmt!r}; use chrome|flat")
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=1, default=str)
-        handle.write("\n")
+        raise UsageError(f"unknown trace format {fmt!r}; use chrome|flat")
+    atomic_write_text(
+        path, json.dumps(document, indent=1, default=str) + "\n"
+    )
     return document
 
 

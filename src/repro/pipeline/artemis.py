@@ -29,6 +29,7 @@ from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
 from ..obs import span as _span
 from ..profiling.advisor import Advice, advise
+from ..resilience.checkpoint import TuningJournal
 from ..tuning.deeptuning import (
     DeepTuningResult,
     deep_tune,
@@ -68,6 +69,7 @@ def optimize(
     top_k: int = 4,
     evaluator: Optional[PlanEvaluator] = None,
     workers: Optional[int] = None,
+    journal: Optional[TuningJournal] = None,
 ) -> OptimizationOutcome:
     """Run the end-to-end ARTEMIS optimization flow.
 
@@ -75,13 +77,20 @@ def optimize(
     run (per-kernel tuning, fused/fission/global alternatives, deep
     tuning), so any plan the flow revisits is a memo-cache hit.
     ``workers`` fans candidate batches out over that many threads.
+    ``journal`` checkpoints every evaluated candidate as it completes;
+    the journal's records are content-addressed by IR fingerprint, so
+    one journal file safely serves every phase (including fission
+    variants, which are distinct IRs) and an interrupted run restarted
+    with the same journal resumes instead of re-tuning.
     """
     with _span("optimize"):
         with _span("lower"):
             ir = lower(source_or_ir)
         engine = evaluator or PlanEvaluator(device=device, workers=workers)
         stats_before = engine.stats.snapshot()
-        outcome = _optimize(ir, engine, iterations, explore_fission, top_k)
+        outcome = _optimize(
+            ir, engine, iterations, explore_fission, top_k, journal
+        )
     from dataclasses import replace
 
     return replace(outcome, eval_stats=engine.stats.since(stats_before))
@@ -93,10 +102,11 @@ def _optimize(
     iterations: Optional[int],
     explore_fission: bool,
     top_k: int,
+    journal: Optional[TuningJournal] = None,
 ) -> OptimizationOutcome:
     device = engine.device
     if ir.is_iterative and len(ir.kernels) == 1:
-        return _optimize_iterative(ir, device, iterations, top_k, engine)
+        return _optimize_iterative(ir, device, iterations, top_k, engine, journal)
     if ir.is_iterative:
         # Multi-statement iterative DAGs (e.g. denoise): fuse the DAG
         # into one kernel, deep-tune the time dimension, and keep the
@@ -104,18 +114,20 @@ def _optimize(
         from ..tuning.fusion import maxfuse
 
         fused = maxfuse(ir)
-        spatial = _optimize_spatial(ir, device, explore_fission, top_k, engine)
+        spatial = _optimize_spatial(
+            ir, device, explore_fission, top_k, engine, journal
+        )
         if len(fused.kernels) == 1:
             try:
                 fused_outcome = _optimize_iterative(
-                    fused, device, iterations, top_k, engine
+                    fused, device, iterations, top_k, engine, journal
                 )
             except (PlanInfeasible, ValueError):
                 return spatial
             if fused_outcome.tflops > spatial.tflops:
                 return fused_outcome
         return spatial
-    return _optimize_spatial(ir, device, explore_fission, top_k, engine)
+    return _optimize_spatial(ir, device, explore_fission, top_k, engine, journal)
 
 
 # ---------------------------------------------------------------------------
@@ -129,9 +141,12 @@ def _optimize_iterative(
     iterations: Optional[int],
     top_k: int,
     evaluator: Optional[PlanEvaluator] = None,
+    journal: Optional[TuningJournal] = None,
 ) -> OptimizationOutcome:
     steps = iterations if iterations is not None else ir.time_iterations
-    deep = deep_tune(ir, device=device, top_k=top_k, evaluator=evaluator)
+    deep = deep_tune(
+        ir, device=device, top_k=top_k, evaluator=evaluator, journal=journal
+    )
     schedule = fusion_schedule(deep, steps)
     program_plan = schedule_to_program_plan(deep, schedule)
     tflops = schedule_tflops(ir, program_plan, device)
@@ -162,9 +177,10 @@ def _optimize_spatial(
     explore_fission: bool,
     top_k: int,
     evaluator: Optional[PlanEvaluator] = None,
+    journal: Optional[TuningJournal] = None,
 ) -> OptimizationOutcome:
     schedule, advice_list, evaluations = _tune_kernels(
-        ir, device, top_k, evaluator=evaluator
+        ir, device, top_k, evaluator=evaluator, journal=journal
     )
     best_tflops = schedule_tflops(ir, schedule, device)
     best = OptimizationOutcome(
@@ -190,7 +206,7 @@ def _optimize_spatial(
         if len(fused_ir.kernels) < len(ir.kernels):
             try:
                 f_schedule, f_advice, f_evals = _tune_kernels(
-                    fused_ir, device, top_k, evaluator=evaluator
+                    fused_ir, device, top_k, evaluator=evaluator, journal=journal
                 )
                 f_tflops = schedule_tflops(fused_ir, f_schedule, device)
                 if f_tflops > best.tflops:
@@ -217,7 +233,8 @@ def _optimize_spatial(
                 continue  # identical to the input
             try:
                 cand_schedule, cand_advice, cand_evals = _tune_kernels(
-                    candidate.ir, device, top_k, evaluator=evaluator
+                    candidate.ir, device, top_k, evaluator=evaluator,
+                    journal=journal,
                 )
             except PlanInfeasible:
                 continue
@@ -237,7 +254,8 @@ def _optimize_spatial(
 
     if wants_global:
         global_schedule, _, g_evals = _tune_kernels(
-            ir, device, top_k, force_gmem=True, evaluator=evaluator
+            ir, device, top_k, force_gmem=True, evaluator=evaluator,
+            journal=journal,
         )
         g_tflops = schedule_tflops(ir, global_schedule, device)
         if g_tflops > best.tflops:
@@ -272,6 +290,7 @@ def _tune_kernels(
     top_k: int,
     force_gmem: bool = False,
     evaluator: Optional[PlanEvaluator] = None,
+    journal: Optional[TuningJournal] = None,
 ):
     """Profile-advise-tune every kernel of a program."""
     plans: List[KernelPlan] = []
@@ -303,6 +322,7 @@ def _tune_kernels(
             bandwidth_bound=not kernel_advice.bottleneck.compute_bound(),
             top_k=top_k,
             evaluator=evaluator,
+            journal=journal,
         )
         if not kernel_advice.use_shared_memory:
             seed = seed.replace(

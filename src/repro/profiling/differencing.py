@@ -22,6 +22,7 @@ from ..gpu.counters import KernelCounters, SimulationResult, TimingBreakdown
 from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import simulate
 from ..ir.stencil import ProgramIR
+from ..resilience.errors import UsageError
 
 #: Speedup V' must show before V is declared bound at the level.
 SPEEDUP_THRESHOLD = 1.10
@@ -71,7 +72,7 @@ def _reduced_result(
     elif level == "shm":
         new_counters = replace(counters, shm_bytes=counters.shm_bytes * 0.05)
     else:
-        raise ValueError(f"unknown memory level {level!r}")
+        raise UsageError(f"unknown memory level {level!r}")
     timing = _retime(base.timing, counters, new_counters)
     return SimulationResult(
         counters=new_counters, occupancy=base.occupancy, timing=timing

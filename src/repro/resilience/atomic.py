@@ -1,0 +1,59 @@
+"""Crash-safe artifact writes: write-tmp-then-``os.replace``.
+
+Every JSON/report artifact the pipeline produces (trace exports, metrics
+dumps, ``BENCH_*.json``, pipeline reports, checkpoint snapshots) goes
+through these helpers so a crash mid-write can never leave a truncated
+file where a previous good artifact used to be: the new content is
+written to a temporary sibling, flushed and fsynced, then atomically
+renamed over the destination.  ``os.replace`` is atomic on POSIX and
+Windows for same-filesystem paths, which the sibling placement
+guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: str, document: Any, indent: int = 1, **dump_kwargs: Any
+) -> None:
+    """Atomically replace ``path`` with ``document`` serialized as JSON.
+
+    Serialization happens *before* the destination is touched, so a
+    non-serializable document cannot clobber an existing artifact
+    either.
+    """
+    text = json.dumps(document, indent=indent, **dump_kwargs) + "\n"
+    atomic_write_text(path, text)

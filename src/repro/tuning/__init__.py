@@ -11,6 +11,7 @@ from .deeptuning import (
 )
 from .evaluator import (
     EvalStats,
+    FailureRecord,
     PlanEvaluator,
     evaluation_caches_disabled,
     plan_fingerprint,
@@ -40,6 +41,7 @@ __all__ = [
     "DeepTuningEntry",
     "DeepTuningResult",
     "EvalStats",
+    "FailureRecord",
     "FissionCandidate",
     "FusionSchedule",
     "HierarchicalTuner",

@@ -24,6 +24,13 @@ from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
 from ..obs import span as _span
 from ..profiling.roofline import classify_result
+from ..resilience.checkpoint import (
+    TuningJournal,
+    ir_fingerprint,
+    plan_from_dict,
+    plan_to_dict,
+)
+from ..resilience.errors import UsageError
 from .evaluator import EvalStats, Measurement, PlanEvaluator
 from .hierarchical import HierarchicalTuner, TuningResult
 
@@ -92,57 +99,98 @@ def deep_tune(
     top_k: int = 4,
     evaluator: Optional[PlanEvaluator] = None,
     workers: Optional[int] = None,
+    journal: Optional[TuningJournal] = None,
 ) -> DeepTuningResult:
     """Tune fusion degrees 1, 2, ... while profiling says fusion helps.
 
     A single evaluation engine is shared across the degree sweep, so
     plans revisited between degrees (and the post-tune profiling
     simulation of each winner) are served from the memo cache.
+
+    With a ``journal``, checkpoint/resume operates at two levels:
+    completed fusion degrees replay wholesale from their ``degree``
+    records, and within an interrupted degree the inner hierarchical
+    tuner replays its journaled candidates — so a crash mid-sweep loses
+    at most the candidate being evaluated.  The stopping conditions are
+    deterministic functions of the entries, so a resumed sweep halts at
+    the same degree as an uninterrupted one.
     """
     if not ir.is_iterative:
-        raise ValueError("deep tuning applies to iterative stencils")
+        raise UsageError("deep tuning applies to iterative stencils")
     if len(ir.kernels) != 1:
-        raise ValueError("deep tuning expects a single smoother kernel")
+        raise UsageError("deep tuning expects a single smoother kernel")
     engine = evaluator or PlanEvaluator(device=device, workers=workers)
     stats_before = engine.stats.snapshot()
+    irfp = ir_fingerprint(ir) if journal is not None else None
     instance = ir.kernels[0]
     entries: List[DeepTuningEntry] = []
     evaluations = 0
     with _span("deep_tune", max_degree=max_degree):
         for degree in range(1, max_degree + 1):
-            with _span("deep_tune.degree", degree=degree):
-                with _span("planning", kernel=instance.name, degree=degree):
-                    base = seed_plan_from_pragma(ir, instance).replace(
-                        time_tile=degree
-                    )
-                    base = auto_assign(ir, base, engine.device).plan
-                tuner = HierarchicalTuner(
-                    ir,
-                    use_register_opts=use_register_opts,
-                    top_k=top_k,
-                    evaluator=engine,
-                    workers=workers,
-                )
-                try:
-                    result = tuner.tune(base)
-                except PlanInfeasible:
-                    break
-                evaluations += tuner.evaluations
-                # The winner was just tuned, so this classification simulation
-                # is a cache hit — the identical SimulationResult object.
-                sim = engine.evaluate(ir, result.best_plan)
-                report = classify_result(sim, engine.device)
-            bandwidth = report.bound_level in ("dram", "tex", "shm")
-            entries.append(
-                DeepTuningEntry(
+            degree_key = f"{irfp}:degree:{degree}"
+            record = journal.lookup(degree_key) if journal is not None else None
+            if record is not None:
+                entry = DeepTuningEntry(
                     time_tile=degree,
-                    measurement=result.best,
-                    bandwidth_bound=bandwidth,
-                    bound_level=report.bound_level,
+                    measurement=Measurement(
+                        plan=plan_from_dict(record["plan"]),
+                        time_s=record["time_s"],
+                        tflops=record["tflops"],
+                    ),
+                    bandwidth_bound=record["bandwidth_bound"],
+                    bound_level=record["bound_level"],
                 )
-            )
+                evaluations += int(record.get("evaluations", 0))
+                entries.append(entry)
+            else:
+                with _span("deep_tune.degree", degree=degree):
+                    with _span("planning", kernel=instance.name, degree=degree):
+                        base = seed_plan_from_pragma(ir, instance).replace(
+                            time_tile=degree
+                        )
+                        base = auto_assign(ir, base, engine.device).plan
+                    tuner = HierarchicalTuner(
+                        ir,
+                        use_register_opts=use_register_opts,
+                        top_k=top_k,
+                        evaluator=engine,
+                        workers=workers,
+                        journal=journal,
+                    )
+                    try:
+                        result = tuner.tune(base)
+                    except PlanInfeasible:
+                        break
+                    evaluations += tuner.evaluations
+                    # The winner was just tuned, so this classification
+                    # simulation is a cache hit — the identical
+                    # SimulationResult object.
+                    sim = engine.evaluate(ir, result.best_plan)
+                    report = classify_result(sim, engine.device)
+                bandwidth = report.bound_level in ("dram", "tex", "shm")
+                entries.append(
+                    DeepTuningEntry(
+                        time_tile=degree,
+                        measurement=result.best,
+                        bandwidth_bound=bandwidth,
+                        bound_level=report.bound_level,
+                    )
+                )
+                if journal is not None:
+                    journal.record_degree(
+                        degree_key,
+                        {
+                            "degree": degree,
+                            "plan": plan_to_dict(result.best.plan),
+                            "time_s": result.best.time_s,
+                            "tflops": result.best.tflops,
+                            "bandwidth_bound": bandwidth,
+                            "bound_level": report.bound_level,
+                            "evaluations": tuner.evaluations,
+                        },
+                    )
             # Fusion helps only bandwidth-bound versions: stop otherwise.
-            if not bandwidth:
+            if not entries[-1].bandwidth_bound:
                 break
             # Stop when the fused version got slower per step (the cusp).
             if degree >= 2:
@@ -188,7 +236,7 @@ class FusionSchedule:
 def fusion_schedule(result: DeepTuningResult, iterations: int) -> FusionSchedule:
     """Solve opt(T) exactly via dynamic programming."""
     if iterations < 0:
-        raise ValueError("iteration count must be non-negative")
+        raise UsageError("iteration count must be non-negative")
     k = result.k
     best: List[float] = [0.0] + [float("inf")] * iterations
     choice: List[int] = [0] * (iterations + 1)

@@ -25,14 +25,24 @@ size, so all search code routes measurements through one
 * **parallel batch evaluation** — :meth:`PlanEvaluator.evaluate_batch`
   fans candidate evaluation out over a thread pool with deterministic,
   input-ordered results.
+* **fault tolerance** — every batch job is guarded: an unexpected
+  (non-infeasibility) exception in one candidate is captured per-job
+  and resolved by the engine's ``on_error`` policy (``fail-fast`` |
+  ``skip`` | ``degrade``) instead of killing the whole batch;
+  per-evaluation timeouts, bounded retry-with-backoff and a failure
+  budget bound the blast radius of bad candidates, and a seedable
+  :class:`~repro.resilience.FaultInjector` can be attached to exercise
+  each of those paths deterministically (``docs/robustness.md``).
 * **cache / throughput statistics** — hits, misses, simulations avoided
-  and wall-clock, surfaced through tuning results, ``pipeline.report``
-  and the ``--eval-stats`` CLI flag.
+  wall-clock, plus failure/retry/timeout counters, surfaced through
+  tuning results, ``pipeline.report`` and the ``--eval-stats`` CLI flag.
 
 Evaluation accounting is uniform: one *request* per candidate plan
 submitted (feasible, spilling or infeasible alike), independent of how
 many register rungs the escalation needed.  Tuners count evaluations the
-same way.
+same way.  (Retries and degraded-mode re-runs do add extra requests —
+they are extra trips into the model — but are tallied separately in
+``retries``/``degraded``.)
 """
 
 from __future__ import annotations
@@ -58,9 +68,27 @@ from ..gpu.simulator import (
 )
 from ..ir.stencil import ProgramIR
 from ..obs import span as _span
+from ..resilience import (
+    ON_ERROR_POLICIES,
+    EvaluationError,
+    EvaluationTimeout,
+    FailureBudget,
+    FaultInjector,
+    RetryPolicy,
+    UsageError,
+)
 
 #: Exceptions that mark a candidate as infeasible rather than a bug.
 INFEASIBLE = (PlanInfeasible, InvalidPlan)
+
+
+def _obs_count(name: str, value: int = 1) -> None:
+    """Live resilience counters (distinct from ``EvalStats.publish``'s
+    ``eval.*`` prefix, so end-of-run publication never double-counts)."""
+    from ..obs import counter, metrics_enabled
+
+    if metrics_enabled():
+        counter(name).add(value)
 
 #: Escalation strategies: ``incremental`` uses the cached register
 #: demand to jump straight to the first non-spilling rung; ``ladder``
@@ -76,6 +104,20 @@ class Measurement:
     plan: KernelPlan
     time_s: float
     tflops: float
+
+
+#: Retained :class:`FailureRecord` entries per engine (diagnostics only;
+#: the ``failures`` counter stays exact past the cap).
+MAX_FAILURE_RECORDS = 100
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One persistently failed candidate evaluation."""
+
+    plan: str  # plan.describe() of the failing candidate
+    error: str  # exception class name
+    message: str
 
 
 @dataclass
@@ -98,6 +140,10 @@ class EvalStats:
     infeasible: int = 0  # requests that turned out infeasible
     rungs_skipped: int = 0  # escalation rungs resolved without simulating
     screened: int = 0  # rejected by the occupancy screen, not simulated
+    failures: int = 0  # candidates that failed persistently (non-infeasible)
+    retries: int = 0  # transient-failure retries performed
+    timeouts: int = 0  # evaluations that exceeded the per-eval deadline
+    degraded: int = 0  # candidates recovered via the degraded path
     wall_s: float = 0.0  # real time the engine was busy (intervals merged)
     cpu_s: float = 0.0  # summed per-thread time inside the engine
 
@@ -119,6 +165,10 @@ class EvalStats:
             infeasible=self.infeasible,
             rungs_skipped=self.rungs_skipped,
             screened=self.screened,
+            failures=self.failures,
+            retries=self.retries,
+            timeouts=self.timeouts,
+            degraded=self.degraded,
             wall_s=self.wall_s,
             cpu_s=self.cpu_s,
         )
@@ -132,6 +182,10 @@ class EvalStats:
             infeasible=self.infeasible - before.infeasible,
             rungs_skipped=self.rungs_skipped - before.rungs_skipped,
             screened=self.screened - before.screened,
+            failures=self.failures - before.failures,
+            retries=self.retries - before.retries,
+            timeouts=self.timeouts - before.timeouts,
+            degraded=self.degraded - before.degraded,
             wall_s=self.wall_s - before.wall_s,
             cpu_s=self.cpu_s - before.cpu_s,
         )
@@ -144,6 +198,10 @@ class EvalStats:
             "infeasible": self.infeasible,
             "rungs_skipped": self.rungs_skipped,
             "screened": self.screened,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
             "simulations": self.simulations,
             "simulations_avoided": self.simulations_avoided,
             "wall_s": self.wall_s,
@@ -163,7 +221,7 @@ class EvalStats:
                 counter(f"{prefix}.{name}").add(value)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.requests} requests, {self.hits} cache hits, "
             f"{self.simulations} simulated, {self.rungs_skipped} rungs "
             f"skipped, {self.screened} screened "
@@ -171,6 +229,13 @@ class EvalStats:
             f"{self.wall_s * 1e3:.1f} ms wall "
             f"({self.cpu_s * 1e3:.1f} ms cpu-sum)"
         )
+        if self.failures or self.retries or self.timeouts or self.degraded:
+            text += (
+                f"; {self.failures} failures ({self.retries} retries, "
+                f"{self.timeouts} timeouts, {self.degraded} degraded "
+                f"recoveries)"
+            )
+        return text
 
 
 def plan_fingerprint(plan: KernelPlan, include_registers: bool = True) -> str:
@@ -222,12 +287,24 @@ class PlanEvaluator:
         escalation: str = "incremental",
         validate: bool = True,
         prescreen: bool = True,
+        on_error: str = "fail-fast",
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        failure_budget: Optional[object] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if escalation not in ESCALATION_MODES:
-            raise ValueError(
+            raise UsageError(
                 f"unknown escalation mode {escalation!r}; "
                 f"expected one of {ESCALATION_MODES}"
             )
+        if on_error not in ON_ERROR_POLICIES:
+            raise UsageError(
+                f"unknown on_error policy {on_error!r}; "
+                f"expected one of {ON_ERROR_POLICIES}"
+            )
+        if timeout_s is not None and timeout_s <= 0:
+            raise UsageError("timeout_s must be positive")
         self.device = device
         self.memoize = memoize
         self.workers = workers
@@ -239,7 +316,21 @@ class PlanEvaluator:
         #: reject launch-infeasible candidates from the occupancy screen
         #: without running the full counter/timing model.
         self.prescreen = prescreen
+        #: what a persistent (post-retry) unexpected failure does to a
+        #: batch: abort it, quarantine the candidate, or first try the
+        #: degraded path.  See ``repro.resilience.ON_ERROR_POLICIES``.
+        self.on_error = on_error
+        self.retry = retry
+        self.timeout_s = timeout_s
+        if failure_budget is None or isinstance(failure_budget, FailureBudget):
+            self.failure_budget = failure_budget or FailureBudget(None)
+        else:
+            self.failure_budget = FailureBudget(int(failure_budget))
+        self.fault_injector = fault_injector
         self.stats = EvalStats()
+        #: most recent persistent failures, for post-mortem reporting
+        #: (bounded; counters in ``stats`` are exact).
+        self.failure_records: List[FailureRecord] = []
         #: key -> (ir, ("ok", SimulationResult) | ("fail", exception))
         self._cache: Dict[tuple, tuple] = {}
         self._lock = threading.Lock()
@@ -250,6 +341,10 @@ class PlanEvaluator:
         self._busy = 0
         self._busy_open = 0.0
         self._depth = threading.local()
+        # Degraded-mode flag (per thread): when set, the memo-cache read
+        # and the occupancy prescreen are bypassed and fault injection
+        # is disarmed — the slow-but-conservative path.
+        self._degraded = threading.local()
 
     @classmethod
     def seed_mode(cls, device: DeviceSpec = P100) -> "PlanEvaluator":
@@ -314,10 +409,14 @@ class PlanEvaluator:
         with self._timed():
             return self._evaluate(ir, plan)
 
+    def _in_degraded_mode(self) -> bool:
+        return getattr(self._degraded, "value", False)
+
     def _evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
         self.stats.requests += 1
+        degraded = self._in_degraded_mode()
         key = self._key(ir, plan)
-        if self.memoize:
+        if self.memoize and not degraded:
             with self._lock:
                 hit = self._cache.get(key)
             if hit is not None and hit[0] is ir:
@@ -334,12 +433,16 @@ class PlanEvaluator:
             # Launch-feasibility screen from the cheap register-dependent
             # suffix: candidates the device cannot run are rejected
             # without paying for the counter and timing models.
-            if self.prescreen:
+            if self.prescreen and not degraded:
                 try:
                     plan_occupancy(ir, plan, self.device)
                 except INFEASIBLE:
                     self.stats.screened += 1
                     raise
+            if self.fault_injector is not None:
+                self.fault_injector.invoke(
+                    plan_fingerprint(plan), degraded=degraded
+                )
             result = simulate(ir, plan, self.device)
         except INFEASIBLE as exc:
             self.stats.infeasible += 1
@@ -431,6 +534,7 @@ class PlanEvaluator:
         plans: Iterable[KernelPlan],
         workers: Optional[int] = None,
         catch: tuple = INFEASIBLE,
+        on_result=None,
     ) -> List[Optional[SimulationResult]]:
         """Evaluate many plans, results in input order (None = infeasible).
 
@@ -440,8 +544,11 @@ class PlanEvaluator:
         by input position.
         """
         plans = list(plans)
-        jobs = [lambda p=p: self.try_evaluate(ir, p, catch=catch) for p in plans]
-        return self._run_batch(jobs, workers)
+        jobs = [
+            (p, lambda p=p: self.try_evaluate(ir, p, catch=catch))
+            for p in plans
+        ]
+        return self._run_batch(jobs, workers, on_result=on_result)
 
     def evaluate_spill_free_batch(
         self,
@@ -449,24 +556,172 @@ class PlanEvaluator:
         plans: Iterable[KernelPlan],
         workers: Optional[int] = None,
         levels: Sequence[int] = REGISTER_LEVELS,
+        on_result=None,
     ) -> List[Optional[Tuple[KernelPlan, SimulationResult]]]:
         """Batch variant of :meth:`evaluate_spill_free`, input-ordered."""
         plans = list(plans)
         jobs = [
-            lambda p=p: self.evaluate_spill_free(ir, p, levels=levels)
+            (p, lambda p=p: self.evaluate_spill_free(ir, p, levels=levels))
             for p in plans
         ]
-        return self._run_batch(jobs, workers)
+        return self._run_batch(jobs, workers, on_result=on_result)
 
-    def _run_batch(self, jobs, workers: Optional[int]) -> List:
+    def _run_batch(self, jobs, workers: Optional[int], on_result=None) -> List:
+        """Run ``(plan, thunk)`` jobs, input-ordered, under the guard.
+
+        Every job runs inside :meth:`_guarded`, which enforces the
+        per-evaluation timeout, the retry policy and the ``on_error``
+        policy — an unexpected exception in one job is captured and
+        resolved per-candidate instead of propagating out and killing
+        the whole batch (unless the policy is ``fail-fast``, in which
+        case it propagates *wrapped*, carrying the candidate context).
+
+        ``on_result(index, plan, outcome, error)`` fires as each job
+        completes — even if a later job aborts the batch — which is
+        what lets the tuning journal checkpoint mid-batch progress.
+        """
         count = workers if workers is not None else self.workers
-        if count is None or count <= 1 or len(jobs) <= 1:
+        serial = count is None or count <= 1 or len(jobs) <= 1
+        if serial:
             with _span("eval.batch", candidates=len(jobs), workers=1):
-                return [job() for job in jobs]
+                return [
+                    self._guarded(plan, thunk, index, on_result)
+                    for index, (plan, thunk) in enumerate(jobs)
+                ]
         with _span("eval.batch", candidates=len(jobs), workers=count):
             with ThreadPoolExecutor(max_workers=count) as pool:
-                futures = [pool.submit(job) for job in jobs]
+                futures = [
+                    pool.submit(self._guarded, plan, thunk, index, on_result)
+                    for index, (plan, thunk) in enumerate(jobs)
+                ]
                 return [future.result() for future in futures]
+
+    # -- fault tolerance -------------------------------------------------------
+
+    def _guarded(self, plan, thunk, index: int = 0, on_result=None):
+        """Run one batch job under timeout/retry/on_error protection."""
+        try:
+            try:
+                result = self._attempt_with_retries(thunk)
+            except INFEASIBLE:
+                result = None
+        except Exception as exc:  # noqa: BLE001 — resolved by policy
+            return self._resolve_failure(plan, thunk, exc, index, on_result)
+        if on_result is not None:
+            on_result(index, plan, result, None)
+        return result
+
+    def _attempt_with_retries(self, thunk):
+        """One evaluation attempt plus the retry policy's re-attempts."""
+        max_retries = self.retry.max_retries if self.retry else 0
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(thunk)
+            except INFEASIBLE:
+                raise
+            except Exception as exc:  # noqa: BLE001
+                if isinstance(exc, EvaluationTimeout):
+                    with self._lock:
+                        self.stats.timeouts += 1
+                    _obs_count("resilience.timeouts")
+                if attempt >= max_retries:
+                    raise
+                with self._lock:
+                    self.stats.retries += 1
+                _obs_count("resilience.retries")
+                self.retry.sleep(attempt)
+                attempt += 1
+
+    def _attempt(self, thunk):
+        """Run a thunk, bounded by the per-evaluation timeout.
+
+        With a timeout configured the thunk runs on a daemon watchdog
+        thread so a hung evaluation cannot wedge the batch (or block
+        interpreter exit); its result is simply abandoned.
+        """
+        timeout = self.timeout_s
+        if timeout is None:
+            return thunk()
+        box: dict = {}
+        done = threading.Event()
+
+        def run():
+            try:
+                box["value"] = thunk()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=run, daemon=True, name="eval-watchdog")
+        worker.start()
+        if not done.wait(timeout):
+            raise EvaluationTimeout(
+                f"evaluation exceeded {timeout}s deadline", timeout_s=timeout
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _resolve_failure(self, plan, thunk, exc, index: int, on_result):
+        """Apply the ``on_error`` policy to a persistent failure."""
+        described = plan.describe() if hasattr(plan, "describe") else str(plan)
+        if self.on_error == "degrade":
+            try:
+                try:
+                    result = self._attempt_degraded(thunk)
+                except INFEASIBLE:
+                    result = None
+            except Exception as degraded_exc:  # noqa: BLE001
+                exc = degraded_exc
+            else:
+                with self._lock:
+                    self.stats.degraded += 1
+                _obs_count("resilience.degraded")
+                if on_result is not None:
+                    on_result(index, plan, result, None)
+                return result
+        with self._lock:
+            self.stats.failures += 1
+            if len(self.failure_records) < MAX_FAILURE_RECORDS:
+                self.failure_records.append(
+                    FailureRecord(
+                        plan=described,
+                        error=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+        _obs_count("resilience.failures")
+        if self.on_error == "fail-fast":
+            if isinstance(exc, EvaluationError):
+                raise exc.with_context(plan=described, candidate=index)
+            raise EvaluationError(
+                f"evaluation of candidate failed: {exc}",
+                plan=described,
+                candidate=index,
+                phase="evaluate",
+            ) from exc
+        # skip / degrade: quarantine the candidate and keep searching,
+        # unless the failure budget says the run is systemically broken.
+        self.failure_budget.charge(plan=described)
+        if on_result is not None:
+            on_result(index, plan, None, exc)
+        return None
+
+    def _attempt_degraded(self, thunk):
+        """Re-run a failed thunk on the conservative path.
+
+        Degraded mode bypasses the memo-cache read and the occupancy
+        prescreen and disarms fault injection — everything optional
+        between the caller and the model — while still honouring the
+        per-evaluation timeout.
+        """
+        self._degraded.value = True
+        try:
+            return self._attempt(thunk)
+        finally:
+            self._degraded.value = False
 
     # -- maintenance -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..dsl.ast import ArrayAccess, Name
 from ..ir.stencil import ProgramIR, Statement, StencilInstance
 from ..ir.transform import rename_symbols
+from ..resilience.errors import UsageError
 
 
 def fuse_instances(
@@ -24,7 +25,7 @@ def fuse_instances(
 ) -> StencilInstance:
     """Concatenate instances into one kernel, uniquifying local scalars."""
     if not instances:
-        raise ValueError("nothing to fuse")
+        raise UsageError("nothing to fuse")
     statements: List[Statement] = []
     placements: List[Tuple[str, str]] = []
     seen_placements: set = set()

@@ -49,7 +49,13 @@ from ..ir.homogenize import kernel_retimable
 from ..ir.stencil import ProgramIR
 from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
 from ..obs import span as _span
-from .evaluator import EvalStats, Measurement, PlanEvaluator
+from ..resilience.checkpoint import (
+    TuningJournal,
+    ir_fingerprint,
+    plan_from_dict,
+    plan_to_dict,
+)
+from .evaluator import EvalStats, Measurement, PlanEvaluator, plan_fingerprint
 from .space import SearchSpace, seed_variants
 
 __all__ = [
@@ -63,6 +69,10 @@ __all__ = [
 
 #: Stage-1 survivors carried into stage 2.
 TOP_K = 4
+
+#: Sentinel distinguishing "journal has no record" from a journaled
+#: infeasible outcome (which replays as None).
+_MISS = object()
 
 VariantGenerator = Callable[[ProgramIR, KernelPlan], Iterable[KernelPlan]]
 
@@ -109,6 +119,7 @@ class HierarchicalTuner:
         keep_trace: bool = False,
         evaluator: Optional[PlanEvaluator] = None,
         workers: Optional[int] = None,
+        journal: Optional[TuningJournal] = None,
     ):
         self.ir = ir
         self.evaluator = evaluator or PlanEvaluator(device=device, workers=workers)
@@ -120,9 +131,90 @@ class HierarchicalTuner:
         self.hierarchy = hierarchy
         self.keep_trace = keep_trace
         self.workers = workers if workers is not None else self.evaluator.workers
+        #: checkpoint journal: measured candidates are appended as they
+        #: complete, and journaled outcomes replay instead of
+        #: re-evaluating (see ``repro.resilience.checkpoint``).
+        self.journal = journal
+        self._irfp = ir_fingerprint(ir) if journal is not None else None
         self.evaluations = 0
         self._trace: List[Measurement] = []
         self._measured_families: Set[tuple] = set()
+
+    # -- checkpoint journal ------------------------------------------------------
+
+    def _journal_key(self, tag: str, plan: KernelPlan) -> str:
+        """Content-addressed record key: IR + operation + plan family.
+
+        Register-independent, because the evaluator escalates the cap —
+        the journal stores the *resolved* plan, keyed by the request.
+        """
+        return (
+            f"{self._irfp}:{tag}:"
+            f"{plan_fingerprint(plan, include_registers=False)}"
+        )
+
+    def _journal_replay(self, tag: str, plan: KernelPlan):
+        """Journaled outcome: a Measurement, None (infeasible) or _MISS."""
+        if self.journal is None:
+            return _MISS
+        record = self.journal.lookup(self._journal_key(tag, plan))
+        if record is None:
+            return _MISS
+        if record.get("plan") is None:
+            return None
+        measurement = Measurement(
+            plan=plan_from_dict(record["plan"]),
+            time_s=record["time_s"],
+            tflops=record["tflops"],
+        )
+        if self.keep_trace:
+            self._trace.append(measurement)
+        return measurement
+
+    def _journal_record(
+        self, tag: str, plan: KernelPlan, measurement: Optional[Measurement]
+    ) -> None:
+        if self.journal is None:
+            return
+        key = self._journal_key(tag, plan)
+        if measurement is None:
+            self.journal.record_candidate(key, None)
+        else:
+            self.journal.record_candidate(
+                key,
+                plan_to_dict(measurement.plan),
+                time_s=measurement.time_s,
+                tflops=measurement.tflops,
+            )
+
+    def _journal_on_result(self, tag: str):
+        """Per-completion callback journaling batch jobs as they finish.
+
+        Runs inside the evaluator's batch loop (possibly on worker
+        threads — the journal appends under its own lock), so a crash
+        mid-batch preserves every candidate that already completed.
+        """
+        if self.journal is None:
+            return None
+
+        def on_result(index, plan, outcome, error):
+            key = self._journal_key(tag, plan)
+            if error is not None:
+                # Quarantined by the on_error policy: diagnostic record
+                # only — the candidate is re-evaluated on resume.
+                self.journal.record_failure(key, error)
+            elif outcome is None:
+                self.journal.record_candidate(key, None)
+            else:
+                resolved, sim = outcome
+                self.journal.record_candidate(
+                    key,
+                    plan_to_dict(resolved),
+                    time_s=sim.time_s,
+                    tflops=sim.tflops,
+                )
+
+        return on_result
 
     # -- measurement -----------------------------------------------------------
 
@@ -140,8 +232,13 @@ class HierarchicalTuner:
         """
         self.evaluations += 1
         self._measured_families.add(plan_family_key(plan))
+        replayed = self._journal_replay("sf", plan)
+        if replayed is not _MISS:
+            return replayed
         found = self.evaluator.evaluate_spill_free(self.ir, plan)
-        return self._record(found)
+        measurement = self._record(found)
+        self._journal_record("sf", plan, measurement)
+        return measurement
 
     def _measure_batch(
         self, plans: Sequence[KernelPlan]
@@ -154,10 +251,25 @@ class HierarchicalTuner:
         self.evaluations += len(plans)
         for plan in plans:
             self._measured_families.add(plan_family_key(plan))
+        results: List[Optional[Measurement]] = [None] * len(plans)
+        fresh: List[Tuple[int, KernelPlan]] = []
+        for position, plan in enumerate(plans):
+            replayed = self._journal_replay("sf", plan)
+            if replayed is not _MISS:
+                results[position] = replayed
+            else:
+                fresh.append((position, plan))
+        if not fresh:
+            return results
         found = self.evaluator.evaluate_spill_free_batch(
-            self.ir, plans, workers=self.workers
+            self.ir,
+            [plan for _, plan in fresh],
+            workers=self.workers,
+            on_result=self._journal_on_result("sf"),
         )
-        return [self._record(item) for item in found]
+        for (position, _), item in zip(fresh, found):
+            results[position] = self._record(item)
+        return results
 
     def _record(self, found) -> Optional[Measurement]:
         if found is None:
@@ -178,14 +290,19 @@ class HierarchicalTuner:
         self.evaluations += 1
         candidate = plan.replace(max_registers=255)
         self._measured_families.add(plan_family_key(candidate))
+        replayed = self._journal_replay("ms", candidate)
+        if replayed is not _MISS:
+            return replayed
         result = self.evaluator.try_evaluate(self.ir, candidate)
         if result is None:
+            self._journal_record("ms", candidate, None)
             return None
         measurement = Measurement(
             plan=candidate, time_s=result.time_s, tflops=result.tflops
         )
         if self.keep_trace:
             self._trace.append(measurement)
+        self._journal_record("ms", candidate, measurement)
         return measurement
 
     # -- stages -----------------------------------------------------------------

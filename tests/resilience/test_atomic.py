@@ -1,0 +1,90 @@
+"""Crash-safe artifact writes (write-tmp-then-rename)."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestRoundTrip:
+    def test_bytes(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        atomic_write_bytes(str(target), b"\x00\x01payload")
+        assert target.read_bytes() == b"\x00\x01payload"
+
+    def test_text(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "héllo\n")
+        assert target.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_json(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(str(target), {"a": [1, 2], "b": None})
+        assert json.loads(target.read_text()) == {"a": [1, 2], "b": None}
+        assert target.read_text().endswith("\n")
+
+    def test_json_dump_kwargs(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(str(target), {"b": 1, "a": 2}, indent=2, sort_keys=True)
+        assert target.read_text().index('"a"') < target.read_text().index('"b"')
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        atomic_write_text(str(target), "new")
+        assert target.read_text() == "new"
+
+
+class TestCrashSafety:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "content")
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+    def test_unserializable_json_preserves_previous_artifact(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(str(target), {"good": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(str(target), {"bad": object()})
+        # The old artifact survives, and no temp debris remains.
+        assert json.loads(target.read_text()) == {"good": 1}
+        assert os.listdir(tmp_path) == ["artifact.json"]
+
+    def test_failed_write_cleans_up_tmp(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifact.txt"
+        target.write_text("previous")
+
+        def explode(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_text(str(target), "next")
+        monkeypatch.undo()
+        assert target.read_text() == "previous"
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+
+class TestConsumers:
+    def test_trace_export_is_atomic(self, tmp_path):
+        # write_trace routes through the atomic helper; the written file
+        # must always be complete, parseable JSON.
+        from repro.obs import configure_tracing, span, write_trace
+
+        configure_tracing(True, clear=True)
+        try:
+            with span("phase"):
+                pass
+            target = tmp_path / "trace.json"
+            document = write_trace(str(target))
+        finally:
+            configure_tracing(False)
+        on_disk = json.loads(target.read_text())
+        assert on_disk["traceEvents"]
+        assert len(on_disk["traceEvents"]) == len(document["traceEvents"])
