@@ -1,0 +1,47 @@
+"""Search-cost regression gate: current run vs the committed baseline.
+
+Runs the ``repro bench`` suite (``repro.suite.bench``) in-process,
+refreshes ``BENCH_search.json`` with the measured profile, and asserts
+the gated metrics (evaluator request count, simulation count, best
+GFLOPS, winning variant) stayed within tolerance of the committed
+baseline.  The counts are deterministic functions of the search
+algorithm, so a failure here means the search itself changed shape —
+not that the machine was slow.
+
+CI runs this as a *non-blocking* job (see ``.github/workflows/ci.yml``);
+locally: ``PYTHONPATH=src python -m pytest benchmarks/bench_regression.py``.
+"""
+
+import json
+import os
+
+from repro.suite.bench import compare_bench, format_bench, run_bench
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_search.json"
+)
+TOLERANCE = 0.15
+
+_results = {}
+
+
+def test_search_bench():
+    results = run_bench()
+    _results.update(results)
+
+    problems = []
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_bench(results, baseline, tolerance=TOLERANCE)
+    print(format_bench(results, problems))
+    assert not problems, "; ".join(problems)
+
+
+def test_write_bench_json():
+    # Runs after the bench case (pytest preserves file order); refreshes
+    # the baseline artifact CI uploads.
+    from repro.resilience import atomic_write_json
+
+    assert _results, "bench did not run"
+    atomic_write_json(BASELINE_PATH, _results, indent=2, sort_keys=True)

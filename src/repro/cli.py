@@ -32,8 +32,12 @@ from .obs import (
     configure_tracing,
     get_metrics,
     get_tracer,
+    tracing_enabled,
     write_trace,
 )
+from .obs.explain import build_explain, format_explain
+from .obs.report_html import render_html
+from .obs.search import SearchLog, read_events
 from .pipeline import format_report, optimize
 from .profiling import classify_result, profile
 from .resilience import (
@@ -42,6 +46,8 @@ from .resilience import (
     RetryPolicy,
     TuningJournal,
     UsageError,
+    atomic_write_json,
+    atomic_write_text,
 )
 from .suite import BENCHMARKS, get as get_benchmark
 from .tuning import PlanEvaluator
@@ -85,7 +91,11 @@ def _obs_finish(args) -> None:
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     if trace_path:
-        write_trace(trace_path, fmt=getattr(args, "trace_format", "chrome"))
+        write_trace(
+            trace_path,
+            fmt=getattr(args, "trace_format", "chrome"),
+            search_events=getattr(args, "_search_events", None),
+        )
         spans = len(get_tracer().finished())
         print(f"trace: {spans} spans written to {trace_path}", file=sys.stderr)
     if want_metrics:
@@ -200,11 +210,76 @@ def cmd_characteristics(args) -> int:
     return 0
 
 
+def _open_search_log(args, engine, device) -> Optional[SearchLog]:
+    """Attach a SearchLog when --search-log/--explain/--json ask for one.
+
+    The explain engine and the JSON payload both derive from the same
+    candidate event stream, so any of the three flags arms collection;
+    only --search-log also persists it.  Tracing is enabled for the
+    duration when not already on, so the log's ``phase`` footer records
+    (per-phase timing aggregates) are always present.
+    """
+    wants = (
+        getattr(args, "search_log", None)
+        or getattr(args, "explain", False)
+        or getattr(args, "json", None)
+    )
+    if not wants:
+        return None
+    log = SearchLog(path=getattr(args, "search_log", None), device=device)
+    engine.search_log = log
+    if not tracing_enabled():
+        configure_tracing(True, clear=True)
+        args._own_tracing = True
+    return log
+
+
+def _close_search_log(args, log: Optional[SearchLog]) -> None:
+    """Emit the phase footer, persist, and hand events to _obs_finish."""
+    if log is None:
+        return
+    try:
+        log.phases(get_tracer().finished())
+    finally:
+        if getattr(args, "_own_tracing", False):
+            configure_tracing(False)
+        log.close()
+        # _obs_finish reads these to add the candidate instant track to
+        # a --trace export.
+        args._search_events = log.events()
+
+
+def _optimize_json_payload(args, device, outcome, log) -> dict:
+    payload = {
+        "spec": args.spec,
+        "device": device.name,
+        "variant": outcome.variant,
+        "tflops": outcome.tflops,
+        "evaluations": outcome.evaluations,
+        "hints": list(outcome.hints),
+        "schedule": [
+            {"plan": plan.describe(), "count": count}
+            for plan, count in zip(
+                outcome.schedule.plans, outcome.schedule.counts
+            )
+        ],
+        "eval_stats": (
+            outcome.eval_stats.as_dict()
+            if outcome.eval_stats is not None
+            else None
+        ),
+    }
+    if log is not None:
+        payload["explain"] = build_explain(log.events()).as_dict()
+    return payload
+
+
 def cmd_optimize(args) -> int:
     ir = _load(args.spec)
     device = _device(args.device)
     engine = _resilience_engine(args, device)
     journal = _open_journal(args, device)
+    log = _open_search_log(args, engine, device)
     try:
         outcome = optimize(
             ir,
@@ -214,14 +289,32 @@ def cmd_optimize(args) -> int:
             evaluator=engine,
             journal=journal,
         )
+        if log is not None and outcome.eval_stats is not None:
+            log.summary(outcome.eval_stats)
     finally:
         if journal is not None:
             journal.close()
+        _close_search_log(args, log)
     if outcome.eval_stats is not None:
         outcome.eval_stats.publish()
     print(format_report(outcome, device))
+    if args.explain:
+        print(format_explain(build_explain(log.events())))
     if args.eval_stats and outcome.eval_stats is not None:
         _print_eval_stats(outcome.eval_stats)
+    if args.json:
+        atomic_write_json(
+            args.json,
+            _optimize_json_payload(args, device, outcome, log),
+            indent=2,
+        )
+        print(f"json: outcome written to {args.json}", file=sys.stderr)
+    if args.search_log:
+        print(
+            f"search log: {log.candidate_count()} candidate event(s) "
+            f"written to {args.search_log}",
+            file=sys.stderr,
+        )
     _warn_failures(outcome.eval_stats, args)
     return 0
 
@@ -249,6 +342,7 @@ def cmd_profile(args) -> int:
     device = _device(args.device)
     with span("lower"):
         generated = generate_baseline(ir, device=device)
+    kernels = []
     for plan in generated.schedule.plans:
         with span("profile", kernels="+".join(plan.kernel_names)):
             report = profile(ir, plan, device)
@@ -263,6 +357,28 @@ def cmd_profile(args) -> int:
                 f"(ridge {entry.ridge:.2f}) -> {entry.verdict}"
             )
         print(f"  bound at: {verdict.bound_level}")
+        kernels.append(
+            {
+                "plan": plan.describe(),
+                "metrics": dict(report.metrics),
+                "verdicts": {
+                    level: {
+                        "oi": verdict.verdict(level).oi,
+                        "ridge": verdict.verdict(level).ridge,
+                        "verdict": verdict.verdict(level).verdict,
+                    }
+                    for level in ("dram", "tex", "shm")
+                },
+                "bound_level": verdict.bound_level,
+            }
+        )
+    if getattr(args, "json", None):
+        atomic_write_json(
+            args.json,
+            {"spec": args.spec, "device": device.name, "kernels": kernels},
+            indent=2,
+        )
+        print(f"json: profile written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -317,6 +433,54 @@ def cmd_deep_tune(args) -> int:
         f"\nschedule for T={args.iterations}: {schedule.describe()} "
         f"({schedule.total_time_s * 1e3:.2f} ms)"
     )
+    return 0
+
+
+def cmd_report(args) -> int:
+    events = read_events(args.log)
+    out = args.output or str(Path(args.log).with_suffix(".html"))
+    document = render_html(events, title=args.title, top_k=args.top_k)
+    atomic_write_text(out, document)
+    candidates = sum(1 for e in events if e.get("kind") == "candidate")
+    print(f"report: {candidates} candidate(s) rendered to {out}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import json as _json
+
+    from .suite.bench import compare_bench, format_bench, run_bench
+
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            raise UsageError(
+                f"unknown benchmark(s): {', '.join(unknown)}; "
+                f"available: {', '.join(BENCHMARKS)}"
+            )
+    else:
+        from .suite.bench import DEFAULT_BENCHMARKS
+
+        names = list(DEFAULT_BENCHMARKS)
+    results = run_bench(names, device=_device(args.device))
+    problems = None
+    if args.check or args.baseline:
+        baseline_path = args.baseline or "BENCH_search.json"
+        if not os.path.exists(baseline_path):
+            raise UsageError(
+                f"baseline {baseline_path} does not exist; run "
+                f"'repro bench --out {baseline_path}' to create one"
+            )
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        problems = compare_bench(results, baseline, tolerance=args.tolerance)
+    print(format_bench(results, problems))
+    if args.out:
+        atomic_write_json(args.out, results, indent=2, sort_keys=True)
+        print(f"bench: results written to {args.out}", file=sys.stderr)
+    if args.check and problems:
+        return 1
     return 0
 
 
@@ -408,6 +572,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="time-iteration count for iterative stencils")
     p.add_argument("--top-k", type=int, default=4,
                    help="stage-1 survivors carried into stage 2")
+    p.add_argument(
+        "--search-log", metavar="PATH", default=None,
+        help="record one JSONL event per evaluated candidate to PATH "
+             "(render with 'repro report PATH')",
+    )
+    p.add_argument(
+        "--explain", action="store_true",
+        help="print the why-this-plan explanation (winner vs runners-up, "
+             "advisor rules, convergence) after the report",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the outcome (schedule, stats, explanation) as JSON",
+    )
     add_eval_flags(p)
     add_resilience_flags(p)
     add_obs_flags(p)
@@ -417,6 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_cuda)
 
     p = add_common(sub.add_parser("profile", help="profile the baseline"))
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the metrics and roofline verdicts as JSON",
+    )
     add_obs_flags(p)
     p.set_defaults(func=cmd_profile)
 
@@ -431,6 +613,52 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience_flags(p)
     add_obs_flags(p)
     p.set_defaults(func=cmd_deep_tune)
+
+    p = sub.add_parser(
+        "report", help="render a search log as a standalone HTML report"
+    )
+    p.add_argument("log", help="search-log JSONL file (from --search-log)")
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="output HTML path (default: the log path with .html)",
+    )
+    p.add_argument(
+        "--title", default="ARTEMIS search report", help="report title"
+    )
+    p.add_argument(
+        "--top-k", type=int, default=3,
+        help="runners-up shown in the explanation",
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench", help="run the search-performance regression benchmark"
+    )
+    p.add_argument(
+        "--device", default="P100", help="device model (P100, V100)"
+    )
+    p.add_argument(
+        "--benchmarks", default=None, metavar="A,B,...",
+        help="comma-separated benchmark names (default: the gated subset)",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the results JSON to PATH",
+    )
+    p.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline JSON to compare against "
+             "(default with --check: BENCH_search.json)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when a gated metric regressed past tolerance",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative drift allowed on gated metrics (default 0.15)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

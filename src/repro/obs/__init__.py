@@ -46,6 +46,7 @@ from .export import (
     flat_json,
     write_trace,
 )
+from .search import SearchLog, log_context, read_events
 
 __all__ = [
     "Counter",
@@ -53,6 +54,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseTotal",
+    "SearchLog",
     "Span",
     "Tracer",
     "aggregate_phases",
@@ -65,7 +67,9 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "histogram",
+    "log_context",
     "metrics_enabled",
+    "read_events",
     "span",
     "traced",
     "tracing_enabled",

@@ -39,14 +39,58 @@ def _spans_of(tracer: Optional[Tracer]) -> Tuple[Span, ...]:
     return (tracer or get_tracer()).finished()
 
 
+#: Synthetic thread id for the search-candidate instant track.  Real
+#: thread ids come from ``threading.get_ident()`` (large addresses), so
+#: a small constant cannot collide.
+SEARCH_TRACK_TID = 1
+
+
+def _search_instants(search_events: Sequence[dict]) -> List[Tuple[float, dict]]:
+    """(absolute perf_counter seconds, candidate event) pairs.
+
+    Search-log events carry ``t_ms`` relative to the header's ``t0_s``;
+    both use the same ``time.perf_counter`` clock as span timestamps, so
+    candidate instants line up with tuning spans on the trace timeline.
+    """
+    t0_s = 0.0
+    for event in search_events:
+        if event.get("kind") == "header":
+            t0_s = float(event.get("t0_s", 0.0))
+            break
+    out: List[Tuple[float, dict]] = []
+    for event in search_events:
+        if event.get("kind") != "candidate":
+            continue
+        out.append((t0_s + float(event.get("t_ms", 0.0)) / 1e3, event))
+    return out
+
+
 def chrome_trace(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     process_name: str = "repro",
+    search_events: Optional[Sequence[dict]] = None,
 ) -> dict:
-    """Spans (+ metrics) as a chrome://tracing JSON-object document."""
+    """Spans (+ metrics) as a chrome://tracing JSON-object document.
+
+    ``search_events`` (a :mod:`repro.obs.search` event stream) adds one
+    *instant* event (``ph: "i"``) per evaluated candidate on a dedicated
+    "search candidates" track, time-aligned with the spans.
+    """
     spans = _spans_of(tracer)
-    base = min((s.start_s for s in spans), default=0.0)
+    instants = _search_instants(search_events) if search_events else []
+    # The time base covers every timestamped event exported — spans and
+    # candidate instants alike — so a trace holding only one source (or
+    # neither) still starts at ts=0 instead of a raw perf_counter value.
+    base = min(
+        (
+            timestamp
+            for timestamp in (
+                [s.start_s for s in spans] + [t for t, _ in instants]
+            )
+        ),
+        default=0.0,
+    )
     events: List[dict] = [
         {
             "name": "process_name",
@@ -84,6 +128,38 @@ def chrome_trace(
             args["parent_id"] = item.parent_id
         event["args"] = args
         events.append(event)
+    if instants:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": SEARCH_TRACK_TID,
+                "args": {"name": "search candidates"},
+            }
+        )
+        for timestamp, candidate in instants:
+            args = {
+                "fingerprint": candidate.get("fingerprint"),
+                "plan": candidate.get("plan"),
+                "disposition": candidate.get("disposition"),
+            }
+            if candidate.get("gflops") is not None:
+                args["gflops"] = candidate["gflops"]
+            if candidate.get("reason"):
+                args["reason"] = candidate["reason"]
+            events.append(
+                {
+                    "name": f"candidate:{candidate.get('disposition', '?')}",
+                    "cat": "search",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": SEARCH_TRACK_TID,
+                    "ts": (timestamp - base) * 1e6,
+                    "args": args,
+                }
+            )
     registry = metrics or get_metrics()
     document = {
         "traceEvents": events,
@@ -127,16 +203,18 @@ def write_trace(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     fmt: str = "chrome",
+    search_events: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Serialize the trace to ``path``; returns the written document.
 
     ``fmt="chrome"`` (default) writes the chrome://tracing object form;
-    ``fmt="flat"`` writes the flat span/metrics JSON.  The write is
+    ``fmt="flat"`` writes the flat span/metrics JSON.  ``search_events``
+    (chrome format only) adds the candidate instant track.  The write is
     atomic (write-tmp-then-rename), so a crash mid-export can never
     truncate an existing trace file.
     """
     if fmt == "chrome":
-        document = chrome_trace(tracer, metrics)
+        document = chrome_trace(tracer, metrics, search_events=search_events)
     elif fmt == "flat":
         document = flat_json(tracer, metrics)
     else:

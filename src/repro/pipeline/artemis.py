@@ -28,6 +28,7 @@ from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
 from ..obs import span as _span
+from ..obs.search import log_context as _log_context
 from ..profiling.advisor import Advice, advise
 from ..resilience.checkpoint import TuningJournal
 from ..tuning.deeptuning import (
@@ -93,7 +94,10 @@ def optimize(
         )
     from dataclasses import replace
 
-    return replace(outcome, eval_stats=engine.stats.since(stats_before))
+    outcome = replace(outcome, eval_stats=engine.stats.since(stats_before))
+    if engine.search_log is not None:
+        engine.search_log.winner(outcome)
+    return outcome
 
 
 def _optimize(
@@ -179,9 +183,11 @@ def _optimize_spatial(
     evaluator: Optional[PlanEvaluator] = None,
     journal: Optional[TuningJournal] = None,
 ) -> OptimizationOutcome:
-    schedule, advice_list, evaluations = _tune_kernels(
-        ir, device, top_k, evaluator=evaluator, journal=journal
-    )
+    log = evaluator.search_log if evaluator is not None else None
+    with _log_context(log, variant="tuned"):
+        schedule, advice_list, evaluations = _tune_kernels(
+            ir, device, top_k, evaluator=evaluator, journal=journal
+        )
     best_tflops = schedule_tflops(ir, schedule, device)
     best = OptimizationOutcome(
         ir=ir,
@@ -205,9 +211,11 @@ def _optimize_spatial(
         fused_ir = maxfuse(ir)
         if len(fused_ir.kernels) < len(ir.kernels):
             try:
-                f_schedule, f_advice, f_evals = _tune_kernels(
-                    fused_ir, device, top_k, evaluator=evaluator, journal=journal
-                )
+                with _log_context(log, variant="dag-fused"):
+                    f_schedule, f_advice, f_evals = _tune_kernels(
+                        fused_ir, device, top_k, evaluator=evaluator,
+                        journal=journal,
+                    )
                 f_tflops = schedule_tflops(fused_ir, f_schedule, device)
                 if f_tflops > best.tflops:
                     best = OptimizationOutcome(
@@ -225,17 +233,18 @@ def _optimize_spatial(
                 pass
 
     if explore_fission and wants_fission:
-        candidates = generate_fission_candidates(ir)
+        candidates = generate_fission_candidates(ir, search_log=log)
         for candidate in dedupe_candidates(candidates):
             if candidate.label == "maxfuse" and len(candidate.ir.kernels) == len(
                 ir.kernels
             ):
                 continue  # identical to the input
             try:
-                cand_schedule, cand_advice, cand_evals = _tune_kernels(
-                    candidate.ir, device, top_k, evaluator=evaluator,
-                    journal=journal,
-                )
+                with _log_context(log, variant=candidate.label):
+                    cand_schedule, cand_advice, cand_evals = _tune_kernels(
+                        candidate.ir, device, top_k, evaluator=evaluator,
+                        journal=journal,
+                    )
             except PlanInfeasible:
                 continue
             cand_tflops = schedule_tflops(candidate.ir, cand_schedule, device)
@@ -253,10 +262,11 @@ def _optimize_spatial(
                 )
 
     if wants_global:
-        global_schedule, _, g_evals = _tune_kernels(
-            ir, device, top_k, force_gmem=True, evaluator=evaluator,
-            journal=journal,
-        )
+        with _log_context(log, variant="global"):
+            global_schedule, _, g_evals = _tune_kernels(
+                ir, device, top_k, force_gmem=True, evaluator=evaluator,
+                journal=journal,
+            )
         g_tflops = schedule_tflops(ir, global_schedule, device)
         if g_tflops > best.tflops:
             best = OptimizationOutcome(
@@ -296,6 +306,7 @@ def _tune_kernels(
     plans: List[KernelPlan] = []
     advice_list: List[Advice] = []
     evaluations = 0
+    log = evaluator.search_log if evaluator is not None else None
     for instance in ir.kernels:
         with _span("planning", kernel=instance.name):
             seed = seed_plan_from_pragma(ir, instance)
@@ -313,6 +324,8 @@ def _tune_kernels(
                 seed = auto_assign(ir, seed, device).plan
         with _span("analysis", kernel=instance.name):
             kernel_advice = advise(ir, seed, device)
+        if log is not None:
+            log.advice(instance.name, kernel_advice)
         advice_list.append(kernel_advice)
         tuner = HierarchicalTuner(
             ir,

@@ -1,0 +1,163 @@
+"""Search-performance regression harness (``repro bench``).
+
+Runs the full ARTEMIS flow on a fixed subset of the Table I suite and
+records the *search-cost profile* — evaluation-engine request count,
+cache hit rate, simulation count, wall time — alongside the predicted
+result quality (best GFLOPS, winning variant).  The counts are exact
+deterministic functions of the search algorithm (the analytical model
+never varies between runs), so a committed baseline
+(``BENCH_search.json``) turns them into a regression gate: a change
+that silently doubles evaluator traffic, or degrades the winner, fails
+``repro bench --check`` even though every functional test still passes.
+
+Wall time is recorded but never gated — CI machines are too noisy for a
+wall-clock threshold to mean anything.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..gpu.device import DeviceSpec, P100
+from ..tuning.evaluator import PlanEvaluator
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCHMARKS",
+    "GATED_METRICS",
+    "run_bench",
+    "compare_bench",
+    "format_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: One temporal benchmark (deep tuning + opt(T)) and one spatial
+#: register-pressure benchmark (fission + global alternatives) — the
+#: same pairing the evaluator-speedup benchmark uses, covering both
+#: search shapes while keeping the gate fast enough for every CI run.
+DEFAULT_BENCHMARKS = ("7pt-smoother", "addsgd4")
+
+#: Metric -> direction of regression.  ``up`` regresses when the value
+#: grows past tolerance (search got more expensive); ``down`` regresses
+#: when it shrinks (result quality or cache efficiency dropped).
+GATED_METRICS = {
+    "requests": "up",
+    "simulations": "up",
+    "best_gflops": "down",
+}
+
+
+def run_bench(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    device: DeviceSpec = P100,
+    top_k: int = 2,
+) -> Dict[str, Any]:
+    """Run the suite and collect the search-cost profile per benchmark."""
+    from ..pipeline import optimize
+    from . import get as get_benchmark
+
+    results: Dict[str, Any] = {}
+    for name in benchmarks:
+        ir = get_benchmark(name).ir()
+        engine = PlanEvaluator(device=device)
+        start = time.perf_counter()
+        outcome = optimize(ir, device=device, top_k=top_k, evaluator=engine)
+        wall = time.perf_counter() - start
+        stats = outcome.eval_stats
+        hit_rate = stats.hits / stats.requests if stats.requests else 0.0
+        results[name] = {
+            "requests": stats.requests,
+            "hits": stats.hits,
+            "simulations": stats.misses,
+            "screened": stats.screened,
+            "rungs_skipped": stats.rungs_skipped,
+            "cache_hit_rate": round(hit_rate, 4),
+            "evaluations": outcome.evaluations,
+            "best_gflops": round(outcome.tflops * 1e3, 3),
+            "variant": outcome.variant,
+            "wall_s": round(wall, 4),
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "top_k": top_k,
+        "device": device.name,
+        "benchmarks": results,
+    }
+
+
+def compare_bench(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.15,
+) -> List[str]:
+    """Regressions in ``current`` vs ``baseline``; empty when clean.
+
+    Each gated metric may drift up to ``tolerance`` (relative) in its
+    harmless direction without comment; past it in the regressing
+    direction produces one message.  Improvements are never flagged.
+    """
+    problems: List[str] = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    cur_benchmarks = current.get("benchmarks", {})
+    for name, base in base_benchmarks.items():
+        cur = cur_benchmarks.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        for metric, direction in GATED_METRICS.items():
+            base_value = base.get(metric)
+            cur_value = cur.get(metric)
+            if base_value is None or cur_value is None:
+                continue
+            if not base_value:
+                continue
+            change = (cur_value - base_value) / base_value
+            if direction == "up" and change > tolerance:
+                problems.append(
+                    f"{name}: {metric} regressed {change * 100:+.1f}% "
+                    f"({base_value} -> {cur_value}, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+            elif direction == "down" and change < -tolerance:
+                problems.append(
+                    f"{name}: {metric} regressed {change * 100:+.1f}% "
+                    f"({base_value} -> {cur_value}, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+        base_variant = base.get("variant")
+        if base_variant and cur.get("variant") != base_variant:
+            problems.append(
+                f"{name}: winning variant changed "
+                f"({base_variant} -> {cur.get('variant')})"
+            )
+    return problems
+
+
+def format_bench(
+    results: Dict[str, Any], problems: Optional[List[str]] = None
+) -> str:
+    """Human-readable table for the ``repro bench`` output."""
+    lines: List[str] = [
+        f"search benchmark (device {results.get('device', '?')}, "
+        f"top_k={results.get('top_k', '?')})",
+        f"{'benchmark':15s} {'requests':>9s} {'sims':>7s} {'hit%':>6s} "
+        f"{'GFLOPS':>9s} {'variant':14s} {'wall s':>7s}",
+    ]
+    for name, row in results.get("benchmarks", {}).items():
+        lines.append(
+            f"{name:15s} {row['requests']:9d} {row['simulations']:7d} "
+            f"{row['cache_hit_rate'] * 100:5.1f}% "
+            f"{row['best_gflops']:9.1f} {row['variant']:14s} "
+            f"{row['wall_s']:7.3f}"
+        )
+    if problems is not None:
+        if problems:
+            lines.append("")
+            lines.append("regressions vs baseline:")
+            lines.extend(f"  - {p}" for p in problems)
+        else:
+            lines.append("")
+            lines.append("no regressions vs baseline")
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import PlanInfeasible
 from ..ir.stencil import ProgramIR
 from ..obs import span as _span
+from ..obs.search import log_context as _log_context
 from ..profiling.roofline import classify_result
 from ..resilience.checkpoint import (
     TuningJournal,
@@ -125,7 +126,10 @@ def deep_tune(
     instance = ir.kernels[0]
     entries: List[DeepTuningEntry] = []
     evaluations = 0
-    with _span("deep_tune", max_degree=max_degree):
+    slog = engine.search_log
+    with _span("deep_tune", max_degree=max_degree), _log_context(
+        slog, phase="deep-tune"
+    ):
         for degree in range(1, max_degree + 1):
             degree_key = f"{irfp}:degree:{degree}"
             record = journal.lookup(degree_key) if journal is not None else None
@@ -140,10 +144,15 @@ def deep_tune(
                     bandwidth_bound=record["bandwidth_bound"],
                     bound_level=record["bound_level"],
                 )
+                if slog is not None:
+                    with slog.context(degree=degree):
+                        slog.replay(entry.measurement.plan)
                 evaluations += int(record.get("evaluations", 0))
                 entries.append(entry)
             else:
-                with _span("deep_tune.degree", degree=degree):
+                with _span("deep_tune.degree", degree=degree), _log_context(
+                    slog, degree=degree
+                ):
                     with _span("planning", kernel=instance.name, degree=degree):
                         base = seed_plan_from_pragma(ir, instance).replace(
                             time_tile=degree

@@ -68,6 +68,7 @@ from ..gpu.simulator import (
 )
 from ..ir.stencil import ProgramIR
 from ..obs import span as _span
+from ..obs.search import SearchLog
 from ..resilience import (
     ON_ERROR_POLICIES,
     EvaluationError,
@@ -292,6 +293,7 @@ class PlanEvaluator:
         timeout_s: Optional[float] = None,
         failure_budget: Optional[object] = None,
         fault_injector: Optional[FaultInjector] = None,
+        search_log: Optional[SearchLog] = None,
     ):
         if escalation not in ESCALATION_MODES:
             raise UsageError(
@@ -327,6 +329,11 @@ class PlanEvaluator:
         else:
             self.failure_budget = FailureBudget(int(failure_budget))
         self.fault_injector = fault_injector
+        #: candidate-level telemetry sink (``repro.obs.search``): when
+        #: set, every request resolved by this engine — cache hits,
+        #: screens, infeasibilities, faults included — emits exactly one
+        #: ``candidate`` event, so the log mirrors ``stats.requests``.
+        self.search_log = search_log
         self.stats = EvalStats()
         #: most recent persistent failures, for post-mortem reporting
         #: (bounded; counters in ``stats`` are exact).
@@ -412,6 +419,26 @@ class PlanEvaluator:
     def _in_degraded_mode(self) -> bool:
         return getattr(self._degraded, "value", False)
 
+    def _log_candidate(
+        self,
+        plan: KernelPlan,
+        disposition: str,
+        reason: Optional[str] = None,
+        result: Optional[SimulationResult] = None,
+        degraded: bool = False,
+    ) -> None:
+        if self.search_log is None:
+            return
+        self.search_log.candidate(
+            plan,
+            fingerprint=plan_fingerprint(plan),
+            family=plan_fingerprint(plan, include_registers=False),
+            disposition=disposition,
+            reason=reason,
+            result=result,
+            degraded=degraded,
+        )
+
     def _evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
         self.stats.requests += 1
         degraded = self._in_degraded_mode()
@@ -423,10 +450,15 @@ class PlanEvaluator:
                 self.stats.hits += 1
                 status, value = hit[1]
                 if status == "ok":
+                    self._log_candidate(plan, "cache-hit", result=value)
                     return value
                 self.stats.infeasible += 1
+                self._log_candidate(
+                    plan, "cache-hit-infeasible", reason=str(value)
+                )
                 raise value
         self.stats.misses += 1
+        screened = False
         try:
             if self.validate:
                 validate_plan(ir, plan)
@@ -438,6 +470,7 @@ class PlanEvaluator:
                     plan_occupancy(ir, plan, self.device)
                 except INFEASIBLE:
                     self.stats.screened += 1
+                    screened = True
                     raise
             if self.fault_injector is not None:
                 self.fault_injector.invoke(
@@ -449,10 +482,28 @@ class PlanEvaluator:
             if self.memoize:
                 with self._lock:
                     self._cache[key] = (ir, ("fail", exc))
+            self._log_candidate(
+                plan,
+                "screened" if screened else "infeasible",
+                reason=str(exc),
+                degraded=degraded,
+            )
+            raise
+        except Exception as exc:  # noqa: BLE001 — telemetry, then re-raise
+            # Unexpected (injected or real) fault: still one request, so
+            # still one candidate event; the resilience machinery decides
+            # what happens to the candidate next.
+            self._log_candidate(
+                plan,
+                "error",
+                reason=f"{type(exc).__name__}: {exc}",
+                degraded=degraded,
+            )
             raise
         if self.memoize:
             with self._lock:
                 self._cache[key] = (ir, ("ok", result))
+        self._log_candidate(plan, "simulated", result=result, degraded=degraded)
         return result
 
     def try_evaluate(
@@ -510,13 +561,28 @@ class PlanEvaluator:
             if self.validate:
                 validate_plan(ir, plan)
             demand = self.register_demand(ir, plan)
-        except INFEASIBLE:
+        except INFEASIBLE as exc:
+            if self.search_log is not None:
+                self.search_log.prune(
+                    plan,
+                    family=plan_fingerprint(plan, include_registers=False),
+                    reason=f"infeasible: {exc}",
+                )
             return None
         level = next((lv for lv in levels if demand <= lv), None)
         if level is None:
             # Spills even at the top level: every rung would have
             # spilled; the seed ladder discarded the candidate too.
             self.stats.rungs_skipped += len(levels)
+            if self.search_log is not None:
+                self.search_log.prune(
+                    plan,
+                    family=plan_fingerprint(plan, include_registers=False),
+                    reason=(
+                        f"spills at every register level "
+                        f"(demand {demand} > {levels[-1]})"
+                    ),
+                )
             return None
         position = levels.index(level)
         self.stats.rungs_skipped += position
@@ -588,10 +654,21 @@ class PlanEvaluator:
                     self._guarded(plan, thunk, index, on_result)
                     for index, (plan, thunk) in enumerate(jobs)
                 ]
+        # Worker threads have no tag stack of their own: capture the
+        # submitting thread's search-log context here and re-install it
+        # around every job, so batch candidates carry their tuner tags.
+        tags = self.search_log.capture() if self.search_log else None
+
+        def run_job(plan, thunk, index):
+            if tags is None:
+                return self._guarded(plan, thunk, index, on_result)
+            with self.search_log.use(tags):
+                return self._guarded(plan, thunk, index, on_result)
+
         with _span("eval.batch", candidates=len(jobs), workers=count):
             with ThreadPoolExecutor(max_workers=count) as pool:
                 futures = [
-                    pool.submit(self._guarded, plan, thunk, index, on_result)
+                    pool.submit(run_job, plan, thunk, index)
                     for index, (plan, thunk) in enumerate(jobs)
                 ]
                 return [future.result() for future in futures]
@@ -602,7 +679,7 @@ class PlanEvaluator:
         """Run one batch job under timeout/retry/on_error protection."""
         try:
             try:
-                result = self._attempt_with_retries(thunk)
+                result = self._attempt_with_retries(thunk, plan)
             except INFEASIBLE:
                 result = None
         except Exception as exc:  # noqa: BLE001 — resolved by policy
@@ -611,7 +688,7 @@ class PlanEvaluator:
             on_result(index, plan, result, None)
         return result
 
-    def _attempt_with_retries(self, thunk):
+    def _attempt_with_retries(self, thunk, plan=None):
         """One evaluation attempt plus the retry policy's re-attempts."""
         max_retries = self.retry.max_retries if self.retry else 0
         attempt = 0
@@ -625,11 +702,20 @@ class PlanEvaluator:
                     with self._lock:
                         self.stats.timeouts += 1
                     _obs_count("resilience.timeouts")
+                    if self.search_log is not None and plan is not None:
+                        self.search_log.marker(
+                            "timeout", plan, timeout_s=self.timeout_s
+                        )
                 if attempt >= max_retries:
                     raise
                 with self._lock:
                     self.stats.retries += 1
                 _obs_count("resilience.retries")
+                if self.search_log is not None and plan is not None:
+                    self.search_log.marker(
+                        "retry", plan, attempt=attempt + 1,
+                        error=type(exc).__name__,
+                    )
                 self.retry.sleep(attempt)
                 attempt += 1
 
@@ -645,10 +731,17 @@ class PlanEvaluator:
             return thunk()
         box: dict = {}
         done = threading.Event()
+        # The watchdog thread starts with an empty tag stack: hand the
+        # caller's search-log context across so telemetry stays attributed.
+        tags = self.search_log.capture() if self.search_log else None
 
         def run():
             try:
-                box["value"] = thunk()
+                if tags is None:
+                    box["value"] = thunk()
+                else:
+                    with self.search_log.use(tags):
+                        box["value"] = thunk()
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 box["error"] = exc
             finally:
@@ -679,6 +772,8 @@ class PlanEvaluator:
                 with self._lock:
                     self.stats.degraded += 1
                 _obs_count("resilience.degraded")
+                if self.search_log is not None:
+                    self.search_log.marker("degraded", plan)
                 if on_result is not None:
                     on_result(index, plan, result, None)
                 return result
@@ -694,6 +789,11 @@ class PlanEvaluator:
                 )
         _obs_count("resilience.failures")
         if self.on_error == "fail-fast":
+            if self.search_log is not None:
+                self.search_log.marker(
+                    "failure", plan, error=type(exc).__name__,
+                    message=str(exc),
+                )
             if isinstance(exc, EvaluationError):
                 raise exc.with_context(plan=described, candidate=index)
             raise EvaluationError(
@@ -704,6 +804,10 @@ class PlanEvaluator:
             ) from exc
         # skip / degrade: quarantine the candidate and keep searching,
         # unless the failure budget says the run is systemically broken.
+        if self.search_log is not None:
+            self.search_log.marker(
+                "skip", plan, error=type(exc).__name__, message=str(exc)
+            )
         self.failure_budget.charge(plan=described)
         if on_result is not None:
             on_result(index, plan, None, exc)

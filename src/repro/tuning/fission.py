@@ -259,12 +259,22 @@ def dedupe_candidates(
     return tuple(unique)
 
 
-def generate_fission_candidates(ir: ProgramIR) -> Tuple[FissionCandidate, ...]:
-    """Produce the maxfuse / trivial-fission / recompute-fission variants."""
+def generate_fission_candidates(
+    ir: ProgramIR, search_log=None
+) -> Tuple[FissionCandidate, ...]:
+    """Produce the maxfuse / trivial-fission / recompute-fission variants.
+
+    With a ``search_log`` (``repro.obs.search``) attached, the generated
+    variants are recorded as one ``fission`` telemetry event, so explain
+    reports can say which alternative program shapes the search priced.
+    """
     from ..obs import span
 
     with span("fission", kernels=len(ir.kernels)):
-        return _generate_fission_candidates(ir)
+        candidates = _generate_fission_candidates(ir)
+    if search_log is not None:
+        search_log.fission(candidates)
+    return candidates
 
 
 def _generate_fission_candidates(ir: ProgramIR) -> Tuple[FissionCandidate, ...]:

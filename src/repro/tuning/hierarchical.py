@@ -49,6 +49,7 @@ from ..ir.homogenize import kernel_retimable
 from ..ir.stencil import ProgramIR
 from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
 from ..obs import span as _span
+from ..obs.search import log_context as _log_context
 from ..resilience.checkpoint import (
     TuningJournal,
     ir_fingerprint,
@@ -153,6 +154,11 @@ class HierarchicalTuner:
             f"{plan_fingerprint(plan, include_registers=False)}"
         )
 
+    @property
+    def _slog(self):
+        """The evaluator's attached search log (None when telemetry is off)."""
+        return self.evaluator.search_log
+
     def _journal_replay(self, tag: str, plan: KernelPlan):
         """Journaled outcome: a Measurement, None (infeasible) or _MISS."""
         if self.journal is None:
@@ -160,6 +166,10 @@ class HierarchicalTuner:
         record = self.journal.lookup(self._journal_key(tag, plan))
         if record is None:
             return _MISS
+        if self._slog is not None:
+            # Replayed candidates never reach the evaluation engine, so
+            # they get their own record kind instead of a ``candidate``.
+            self._slog.replay(plan)
         if record.get("plan") is None:
             return None
         measurement = Measurement(
@@ -310,10 +320,13 @@ class HierarchicalTuner:
     def tune(self, base: KernelPlan) -> TuningResult:
         stats_before = self.evaluator.stats.snapshot()
         with _span("tuning", kernels="+".join(base.kernel_names)):
-            if self.hierarchy is not None:
-                result = self._tune_custom(base)
-            else:
-                result = self._tune_two_stage(base)
+            with _log_context(
+                self._slog, kernels="+".join(base.kernel_names)
+            ):
+                if self.hierarchy is not None:
+                    result = self._tune_custom(base)
+                else:
+                    result = self._tune_two_stage(base)
         return dataclass_replace_stats(
             result, self.evaluator.stats.since(stats_before)
         )
@@ -323,7 +336,8 @@ class HierarchicalTuner:
         stage1_evals = self.evaluations
         if not stage1:
             # Nothing spill-free: fall back to the best spilling config.
-            fallback = self.measure_with_spills(base)
+            with _log_context(self._slog, stage="spill-fallback"):
+                fallback = self.measure_with_spills(base)
             if fallback is None:
                 raise PlanInfeasible(
                     f"no feasible configuration for {base.kernel_names}"
@@ -343,7 +357,9 @@ class HierarchicalTuner:
         )
 
     def _stage1(self, base: KernelPlan) -> List[Measurement]:
-        with _span("tuning.stage1") as stage_span:
+        with _span("tuning.stage1") as stage_span, _log_context(
+            self._slog, stage="stage1"
+        ):
             space = SearchSpace(
                 ndim=self.ir.ndim,
                 streaming=base.uses_streaming,
@@ -387,7 +403,8 @@ class HierarchicalTuner:
         # second-tier variant — e.g. retiming a survivor that stage 1
         # already explored retimed.  Deduplicate by plan-family
         # fingerprint so each distinct configuration is measured once.
-        with _span("tuning.stage2", survivors=len(survivors)) as stage_span:
+        with _span("tuning.stage2", survivors=len(survivors)) as stage_span, \
+                _log_context(self._slog, stage="stage2"):
             candidates: List[KernelPlan] = []
             seen = set(self._measured_families)
             for survivor in survivors:
@@ -440,7 +457,9 @@ class HierarchicalTuner:
             level_plans: List[KernelPlan] = []
             for plan in survivors:
                 level_plans.extend(generator(self.ir, plan))
-            with _span(f"tuning.level{depth + 1}", candidates=len(level_plans)):
+            with _span(
+                f"tuning.level{depth + 1}", candidates=len(level_plans)
+            ), _log_context(self._slog, stage=f"level{depth + 1}"):
                 measured = [
                     m for m in self._measure_batch(level_plans) if m is not None
                 ]

@@ -134,3 +134,97 @@ class TestAggregatePhases:
 
     def test_empty_input(self):
         assert aggregate_phases(()) == []
+
+
+class TestSearchInstants:
+    """Candidate events ride along as ph:"i" instants on their own track."""
+
+    @staticmethod
+    def _search_events(t0_s, offsets_ms=(1.0, 2.0, 3.0)):
+        events = [{"kind": "header", "version": 1, "t0_s": t0_s}]
+        for index, t_ms in enumerate(offsets_ms):
+            events.append(
+                {
+                    "kind": "candidate",
+                    "seq": index + 1,
+                    "t_ms": t_ms,
+                    "fingerprint": f"fp{index}",
+                    "plan": f"plan-{index}",
+                    "disposition": "simulated",
+                    "gflops": 100.0 + index,
+                }
+            )
+        events.append({"kind": "winner", "seq": 99, "t_ms": 9.0})
+        return events
+
+    def test_instants_on_dedicated_named_track(self):
+        tracer = populated_tracer()
+        t0 = tracer.finished()[0].start_s
+        doc = chrome_trace(
+            tracer, MetricsRegistry(), search_events=self._search_events(t0)
+        )
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 3  # candidates only, not header/winner
+        tids = {e["tid"] for e in instants}
+        assert len(tids) == 1
+        (tid,) = tids
+        metas = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["tid"] == tid
+        }
+        assert metas == {"search candidates"}
+        for event in instants:
+            assert event["s"] == "t"
+            assert event["cat"] == "search"
+            assert event["name"].startswith("candidate:")
+            assert event["args"]["fingerprint"]
+            assert event["ts"] >= 0.0
+
+    def test_instants_time_aligned_with_spans(self):
+        tracer = populated_tracer()
+        spans = tracer.finished()
+        base = min(s.start_s for s in spans)
+        doc = chrome_trace(
+            tracer,
+            MetricsRegistry(),
+            search_events=self._search_events(base, offsets_ms=(5.0,)),
+        )
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        # header t0 == earliest span start, candidate at +5 ms
+        assert instant["ts"] == pytest.approx(5000.0, abs=1.0)
+
+    def test_base_covers_instants_without_spans(self):
+        # Degenerate path: no spans at all.  The time base must come
+        # from the candidate timestamps, not default to 0.0 (which
+        # would put instants at raw perf_counter microseconds).
+        doc = chrome_trace(
+            Tracer(enabled=True),
+            MetricsRegistry(),
+            search_events=self._search_events(1234.5),
+        )
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants
+        assert min(e["ts"] for e in instants) == pytest.approx(0.0, abs=1e-6)
+        assert max(e["ts"] for e in instants) < 10_000  # microseconds, small
+
+    def test_no_search_events_unchanged(self):
+        doc = chrome_trace(populated_tracer(), MetricsRegistry())
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "i"]
+
+    def test_write_trace_passes_search_events(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "t.json"
+        tracer = populated_tracer()
+        t0 = tracer.finished()[0].start_s
+        write_trace(
+            str(path),
+            tracer,
+            MetricsRegistry(),
+            fmt="chrome",
+            search_events=self._search_events(t0),
+        )
+        doc = _json.loads(path.read_text())
+        assert [e for e in doc["traceEvents"] if e["ph"] == "i"]

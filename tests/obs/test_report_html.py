@@ -1,0 +1,132 @@
+"""HTML report tests: standalone document, valid SVG, all marks plotted."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.obs.report_html import render_html
+from repro.obs.search import SearchLog
+from repro.pipeline import optimize
+from repro.suite import load_ir
+from repro.tuning import PlanEvaluator
+
+
+@pytest.fixture(scope="module")
+def pipeline_events():
+    from repro.gpu.device import P100
+
+    from repro.obs import configure_tracing, get_tracer
+
+    log = SearchLog(device=P100)
+    engine = PlanEvaluator(search_log=log)
+    configure_tracing(True, clear=True)
+    try:
+        outcome = optimize(load_ir("addsgd4"), top_k=2, evaluator=engine)
+        log.summary(outcome.eval_stats)
+        log.phases(get_tracer().finished())
+    finally:
+        configure_tracing(False)
+    return log.events()
+
+
+@pytest.fixture(scope="module")
+def document(pipeline_events):
+    return render_html(pipeline_events, title="test report")
+
+
+def _svgs(document):
+    return re.findall(r"<svg.*?</svg>", document, re.S)
+
+
+class TestDocument:
+    def test_standalone_html(self, document):
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<html" in document and "</html>" in document
+        # self-contained: no external scripts, stylesheets or images
+        assert "<script" not in document
+        assert "http://" not in document and "https://" not in document
+        assert "<link" not in document
+
+    def test_title_escaped(self, pipeline_events):
+        doc = render_html(pipeline_events, title="<b>&x")
+        assert "<title>&lt;b&gt;&amp;x</title>" in doc
+
+    def test_sections_present(self, document):
+        for heading in (
+            "Roofline", "Convergence", "Why this plan",
+            "Phase timings", "Dispositions",
+        ):
+            assert heading in document
+
+    def test_dark_mode_palette_declared(self, document):
+        assert "prefers-color-scheme: dark" in document
+        assert "--series-1" in document
+
+
+class TestSvg:
+    def test_two_wellformed_svgs(self, document):
+        svgs = _svgs(document)
+        assert len(svgs) == 2
+        for svg in svgs:
+            ET.fromstring(svg)  # raises on malformed markup
+
+    def test_roofline_plots_every_measured_candidate(
+        self, document, pipeline_events
+    ):
+        measured = [
+            e
+            for e in pipeline_events
+            if e.get("kind") == "candidate" and e.get("gflops") is not None
+        ]
+        roofline = _svgs(document)[0]
+        # every measured candidate is one circle; the winner's circle is
+        # re-drawn on top, so count >= measured
+        assert roofline.count("<circle") >= len(measured)
+
+    def test_every_mark_has_a_tooltip(self, document):
+        for svg in _svgs(document):
+            assert svg.count("<circle") == svg.count("<title")
+
+    def test_marks_inside_viewbox(self, document):
+        for svg in _svgs(document):
+            root = ET.fromstring(svg)
+            width, height = (
+                float(v) for v in root.get("viewBox").split()[2:]
+            )
+            for cx, cy in re.findall(r"cx='([-\d.]+)' cy='([-\d.]+)'", svg):
+                assert 0 <= float(cx) <= width
+                assert 0 <= float(cy) <= height
+
+    def test_roofline_reference_lines_drawn(self, document):
+        roofline = _svgs(document)[0]
+        assert "peak" in roofline  # compute roof labelled
+        assert "ridge" in roofline
+        assert "operational intensity" in roofline
+
+    def test_winner_highlighted(self, document):
+        roofline = _svgs(document)[0]
+        assert "var(--series-2)" in roofline
+
+
+class TestDegenerateStreams:
+    def test_no_measured_candidates_still_renders(self):
+        events = [
+            {"kind": "header", "version": 1, "t0_s": 0.0},
+            {"kind": "candidate", "seq": 1, "t_ms": 1.0,
+             "fingerprint": "x", "family": "f", "plan": "p",
+             "config": {}, "disposition": "infeasible",
+             "reason": "nope"},
+        ]
+        doc = render_html(events)
+        assert "no measured candidates" in doc
+        assert "<!DOCTYPE html>" in doc
+
+    def test_missing_device_payload(self, pipeline_events):
+        events = [
+            dict(e, **({"device": None} if e.get("kind") == "header" else {}))
+            for e in pipeline_events
+        ]
+        events[0].pop("device", None)
+        doc = render_html(events)
+        assert "device unknown" in doc

@@ -35,3 +35,100 @@ class TestSpatialReport:
         text = format_report(sw4_outcome)
         if sw4_outcome.hints:
             assert "hints:" in text
+
+
+class TestPhaseTimings:
+    """Self-time accounting of format_phase_timings / aggregate_phases."""
+
+    @staticmethod
+    def _span(name, span_id, parent_id, start_s, end_s, thread_id=1):
+        from repro.obs import Span
+
+        return Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            thread_id=thread_id,
+            thread_name=f"t{thread_id}",
+            depth=0,
+            start_s=start_s,
+            end_s=end_s,
+        )
+
+    def _parse(self, lines):
+        """lines -> {phase: (calls, total_ms, self_ms)}."""
+        out = {}
+        for line in lines[2:]:
+            parts = line.split()
+            out[parts[0]] = (
+                int(parts[1]), float(parts[2]), float(parts[3])
+            )
+        return out
+
+    def test_nested_spans_bill_children_once(self):
+        from repro.pipeline.report import format_phase_timings
+
+        spans = [
+            self._span("tuning", 1, None, 0.0, 1.0),
+            self._span("tuning.stage1", 2, 1, 0.0, 0.4),
+            self._span("tuning.stage2", 3, 1, 0.4, 0.9),
+            self._span("simulate", 4, 2, 0.1, 0.3),
+        ]
+        table = self._parse(format_phase_timings(spans))
+        calls, total, self_ms = table["tuning"]
+        assert calls == 1 and total == pytest.approx(1000.0)
+        # self excludes direct children stage1 (400 ms) + stage2 (500 ms)
+        # but NOT the grandchild simulate (billed to stage1 instead)
+        assert self_ms == pytest.approx(100.0)
+        _, s1_total, s1_self = table["tuning.stage1"]
+        assert s1_total == pytest.approx(400.0)
+        assert s1_self == pytest.approx(200.0)  # minus simulate's 200 ms
+        # leaves keep all their time
+        assert table["simulate"][2] == pytest.approx(200.0)
+
+    def test_overlapping_sibling_spans_cannot_go_negative(self):
+        from repro.pipeline.report import format_phase_timings
+
+        # Parallel batch: two children overlap each other and together
+        # exceed the parent's wall time (they ran on worker threads).
+        spans = [
+            self._span("batch", 1, None, 0.0, 1.0),
+            self._span("evaluate", 2, 1, 0.0, 0.9, thread_id=2),
+            self._span("evaluate", 3, 1, 0.05, 0.95, thread_id=3),
+        ]
+        table = self._parse(format_phase_timings(spans))
+        calls, total, self_ms = table["evaluate"]
+        assert calls == 2
+        assert total == pytest.approx(1800.0)
+        # children sum (1.8 s) exceeds the parent's 1.0 s: self time is
+        # clamped at zero, never negative
+        assert table["batch"][2] == pytest.approx(0.0)
+        assert table["batch"][2] >= 0.0
+
+    def test_same_name_at_multiple_depths(self):
+        from repro.pipeline.report import format_phase_timings
+
+        # "evaluate" appears both as a child of tuning and nested under
+        # another evaluate (re-entrant phases): totals sum every span,
+        # self subtracts each span's own direct children only.
+        spans = [
+            self._span("evaluate", 1, None, 0.0, 1.0),
+            self._span("evaluate", 2, 1, 0.2, 0.6),
+        ]
+        table = self._parse(format_phase_timings(spans))
+        calls, total, self_ms = table["evaluate"]
+        assert calls == 2
+        assert total == pytest.approx(1400.0)
+        # outer self = 1.0 - 0.4 inner; inner self = 0.4 (leaf)
+        assert self_ms == pytest.approx(1000.0)
+
+    def test_empty_spans_produce_no_table(self):
+        from repro.pipeline.report import format_phase_timings
+
+        assert format_phase_timings(()) == []
+
+    def test_report_appends_table_when_spans_passed(self, sw4_outcome):
+        spans = [self._span("tuning", 1, None, 0.0, 0.5)]
+        text = format_report(sw4_outcome, phase_spans=spans)
+        assert "phase timings:" in text
+        assert "tuning" in text.split("phase timings:")[1]

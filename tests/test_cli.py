@@ -249,3 +249,151 @@ class TestObservabilityFlags:
         assert main(["optimize", "7pt-smoother", "--top-k", "1"]) == 0
         assert len(get_tracer().finished()) == before
         assert "phase timings:" not in capsys.readouterr().out
+
+
+class TestSearchObservatoryCli:
+    """--search-log / --explain / --json plus `report` and `bench`."""
+
+    @pytest.fixture(scope="class")
+    def search_run(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        tmp = tmp_path_factory.mktemp("search")
+        log = tmp / "out.jsonl"
+        payload = tmp / "out.json"
+        out_io, err_io = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out_io), \
+                contextlib.redirect_stderr(err_io):
+            code = main([
+                "optimize", "addsgd4", "--top-k", "1",
+                "--explain", "--search-log", str(log),
+                "--json", str(payload),
+            ])
+        return code, out_io.getvalue(), err_io.getvalue(), log, payload
+
+    def test_explain_prints_winner_block(self, search_run):
+        code, out, err, _, _ = search_run
+        assert code == 0
+        assert "why this plan" in out
+        assert "convergence" in out
+        assert "search log:" in err
+
+    def test_search_log_invariant_matches_json_stats(self, search_run):
+        import json
+
+        from repro.obs.search import read_events
+
+        code, _, _, log, payload = search_run
+        assert code == 0
+        events = read_events(str(log))
+        assert events[0]["kind"] == "header"
+        candidates = [e for e in events if e["kind"] == "candidate"]
+        document = json.loads(payload.read_text())
+        assert len(candidates) == document["eval_stats"]["requests"]
+
+    def test_json_payload_shape(self, search_run):
+        import json
+
+        _, _, _, _, payload = search_run
+        document = json.loads(payload.read_text())
+        assert document["spec"] == "addsgd4"
+        assert document["device"] == "P100"
+        assert document["tflops"] > 0
+        assert document["schedule"]
+        assert document["explain"]["winner_candidate"]["fingerprint"]
+
+    def test_report_renders_html(self, search_run, tmp_path):
+        _, _, _, log, _ = search_run
+        html = tmp_path / "r.html"
+        assert main(["report", str(log), "-o", str(html)]) == 0
+        document = html.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<svg" in document
+        assert "Roofline" in document
+
+    def test_report_default_output_path(self, search_run):
+        _, _, _, log, _ = search_run
+        assert main(["report", str(log)]) == 0
+        assert log.with_suffix(".html").exists()
+
+    def test_report_missing_log_is_usage_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read search log" in capsys.readouterr().err
+
+
+class TestProfileJson:
+    def test_json_payload(self, tmp_path, capsys):
+        import json
+
+        payload = tmp_path / "p.json"
+        assert main([
+            "profile", "7pt-smoother", "--json", str(payload)
+        ]) == 0
+        document = json.loads(payload.read_text())
+        assert document["spec"] == "7pt-smoother"
+        assert document["device"] == "P100"
+        entry = document["kernels"][0]
+        assert entry["plan"]
+        assert "flop_count_dp" in entry["metrics"]
+        assert entry["bound_level"]
+        assert set(entry["verdicts"]) == {"dram", "tex", "shm"}
+
+
+class TestBenchCli:
+    @pytest.fixture(scope="class")
+    def bench_out(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        out = tmp_path_factory.mktemp("bench") / "current.json"
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(io.StringIO()):
+            code = main([
+                "bench", "--benchmarks", "addsgd4", "--out", str(out)
+            ])
+        assert code == 0
+        return out
+
+    def test_results_schema(self, bench_out):
+        import json
+
+        document = json.loads(bench_out.read_text())
+        entry = document["benchmarks"]["addsgd4"]
+        assert entry["requests"] > 0
+        assert entry["best_gflops"] > 0
+        assert entry["variant"]
+
+    def test_check_passes_against_own_baseline(self, bench_out, capsys):
+        assert main([
+            "bench", "--benchmarks", "addsgd4",
+            "--check", "--baseline", str(bench_out),
+        ]) == 0
+        assert "no regressions vs baseline" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_regression(
+        self, bench_out, tmp_path, capsys
+    ):
+        import json
+
+        baseline = json.loads(bench_out.read_text())
+        entry = baseline["benchmarks"]["addsgd4"]
+        entry["requests"] = int(entry["requests"] * 0.7)
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        assert main([
+            "bench", "--benchmarks", "addsgd4",
+            "--check", "--baseline", str(doctored),
+        ]) == 1
+        assert "requests" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_usage_error(self, capsys):
+        assert main(["bench", "--benchmarks", "no-such-bench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_check_without_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "bench", "--benchmarks", "addsgd4",
+            "--check", "--baseline", str(tmp_path / "absent.json"),
+        ]) == 2
+        assert "does not exist" in capsys.readouterr().err
