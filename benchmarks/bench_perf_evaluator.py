@@ -53,10 +53,18 @@ def test_evaluator_speedup(name):
     assert fast_calls > 0
     assert seed_calls >= 2 * fast_calls
 
+    # Every prescreen rejection must carry a lint rule code: the
+    # engine's occupancy screen is routed through repro.lint, so the
+    # two counters track each other exactly.
+    stats = fast.eval_stats
+    assert stats.lint_rejections == stats.screened
+
     _results[name] = {
         "engine": {
             "wall_s": round(fast_wall, 4),
             "simulate_calls": fast_calls,
+            "prescreen_rejections": stats.screened,
+            "lint_rejections": stats.lint_rejections,
         },
         "seed_mode": {
             "wall_s": round(seed_wall, 4),

@@ -35,6 +35,15 @@ def test_search_bench():
             baseline = json.load(handle)
         problems = compare_bench(results, baseline, tolerance=TOLERANCE)
     print(format_bench(results, problems))
+    # Prescreen-vs-simulate split: every screened candidate must carry
+    # a lint rule code, and the full-model call count is what remains.
+    for name, row in results["benchmarks"].items():
+        print(
+            f"{name}: {row['lint_rejections']} lint-rejected, "
+            f"{row['simulate_calls']} simulated"
+        )
+        assert row["lint_rejections"] == row["screened"]
+        assert row["simulate_calls"] == row["simulations"] - row["screened"]
     assert not problems, "; ".join(problems)
 
 

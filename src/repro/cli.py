@@ -14,6 +14,9 @@ Commands
   benchmarks.
 * ``deep-tune <benchmark> [-T N]``           — deep-tune an iterative
   benchmark and print the fusion schedule for N iterations.
+* ``lint [specs...] [--suite] [--examples DIR]`` — statically verify
+  DSL specifications (``repro.lint`` rule catalog; ``--json`` /
+  ``--sarif`` for machine-readable findings; exit 1 on errors).
 """
 
 from __future__ import annotations
@@ -446,6 +449,79 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import lint_source, extract_dsl_blocks
+    from .lint.sarif import write_sarif
+
+    targets = []  # (artifact, dsl_source)
+    for spec in args.specs:
+        if spec in BENCHMARKS:
+            targets.append((spec, get_benchmark(spec).dsl()))
+            continue
+        path = Path(spec)
+        if not path.exists():
+            raise UsageError(
+                f"{spec!r} is neither a built-in benchmark "
+                f"({', '.join(BENCHMARKS)}) nor a file"
+            )
+        text = path.read_text()
+        if path.suffix == ".py":
+            blocks = extract_dsl_blocks(text)
+            if not blocks:
+                print(f"{path}: no DSL blocks found", file=sys.stderr)
+            for start, block in blocks:
+                targets.append((f"{path}:{start}", block))
+        else:
+            targets.append((str(path), text))
+    if args.suite:
+        for name in BENCHMARKS:
+            targets.append((name, get_benchmark(name).dsl()))
+    if args.examples:
+        root = Path(args.examples)
+        if not root.is_dir():
+            raise UsageError(f"--examples: {args.examples!r} is not a directory")
+        for path in sorted(root.glob("*.py")):
+            for start, block in extract_dsl_blocks(path.read_text()):
+                targets.append((f"{path}:{start}", block))
+    if not targets:
+        raise UsageError(
+            "nothing to lint: pass a spec, --suite, or --examples DIR"
+        )
+
+    reports = [lint_source(source, artifact=name) for name, source in targets]
+    findings = sum(len(r) for r in reports)
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+
+    if args.json:
+        atomic_write_json(
+            args.json,
+            {
+                "artifacts": [r.as_dict() for r in reports],
+                "totals": {
+                    "artifacts": len(reports),
+                    "findings": findings,
+                    "errors": errors,
+                    "warnings": warnings,
+                },
+            },
+            indent=2,
+        )
+        print(f"lint: JSON written to {args.json}", file=sys.stderr)
+    if args.sarif:
+        write_sarif(reports, args.sarif)
+        print(f"lint: SARIF written to {args.sarif}", file=sys.stderr)
+
+    for report in reports:
+        if report:
+            print(report.render())
+    print(
+        f"lint: {len(reports)} artifact(s), {findings} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    return 1 if errors else 0
+
+
 def cmd_bench(args) -> int:
     import json as _json
 
@@ -630,6 +706,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="runners-up shown in the explanation",
     )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "lint", help="statically verify DSL specs (repro.lint rules)"
+    )
+    p.add_argument(
+        "specs", nargs="*",
+        help="benchmark names, DSL files, or Python files with embedded "
+             "DSL blocks",
+    )
+    p.add_argument(
+        "--suite", action="store_true",
+        help="also lint every built-in suite benchmark",
+    )
+    p.add_argument(
+        "--examples", metavar="DIR", default=None,
+        help="extract and lint DSL blocks from every *.py under DIR",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write all findings as JSON to PATH",
+    )
+    p.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="write all findings as SARIF 2.1.0 to PATH",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "bench", help="run the search-performance regression benchmark"

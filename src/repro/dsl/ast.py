@@ -18,6 +18,36 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based source position carried from lexer tokens to AST nodes.
+
+    ``line``/``col`` locate the first token of the construct; the
+    optional end coordinates (0 when unknown) delimit it.  Spans are
+    diagnostic metadata only: they are excluded from node equality and
+    hashing, so two programs that differ only in whitespace still
+    compare equal (the printer round-trip tests rely on this).
+    """
+
+    line: int
+    col: int
+    end_line: int = 0
+    end_col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+def span_of(node) -> Optional["SourceSpan"]:
+    """The node's source span, or None for synthesized nodes."""
+    return getattr(node, "span", None)
+
+
+# ---------------------------------------------------------------------------
 # Affine index expressions
 # ---------------------------------------------------------------------------
 
@@ -222,6 +252,7 @@ class Parameter:
 
     name: str
     value: int
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -235,6 +266,7 @@ class VarDecl:
     name: str
     dtype: str
     dims: Tuple[Union[str, int], ...] = ()
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     @property
     def is_array(self) -> bool:
@@ -257,6 +289,7 @@ class Pragma:
     block: Tuple[int, ...] = ()
     unroll: Tuple[Tuple[str, int], ...] = ()
     occupancy: Optional[float] = None
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     @property
     def unroll_map(self) -> Dict[str, int]:
@@ -272,6 +305,7 @@ class AssignDirective:
     """
 
     placements: Tuple[Tuple[str, str], ...] = ()
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     @property
     def placement_map(self) -> Dict[str, str]:
@@ -285,6 +319,7 @@ class LocalDecl:
     name: str
     dtype: str
     init: Expr
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -294,6 +329,7 @@ class Assignment:
     lhs: Union[ArrayAccess, Name]
     rhs: Expr
     op: str = "="  # '=' or '+='
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     @property
     def target(self) -> str:
@@ -312,6 +348,7 @@ class StencilDef:
     body: Tuple[Stmt, ...]
     assign: Optional[AssignDirective] = None
     pragma: Optional[Pragma] = None
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -320,6 +357,7 @@ class StencilCall:
 
     name: str
     args: Tuple[str, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ from .ast import (
     Parameter,
     Pragma,
     Program,
+    SourceSpan,
     StencilCall,
     StencilDef,
     Stmt,
@@ -46,6 +47,11 @@ from .pragmas import parse_assign, parse_pragma
 from .validate import validate_program
 
 DTYPES = ("double", "float", "int")
+
+
+def _span(token) -> SourceSpan:
+    """Span of the construct starting at ``token``."""
+    return SourceSpan(token.line, token.col)
 
 
 def parse(source: str, validate: bool = True) -> Program:
@@ -140,10 +146,13 @@ class _ProgramParser:
         s = self.stream
         s.expect(lexer.ID, "parameter")
         while True:
-            name = s.expect(lexer.ID).value
+            name_tok = s.expect(lexer.ID)
+            name = name_tok.value
             s.expect_punct("=")
             value = int(s.expect(lexer.INT).value)
-            self.parameters.append(Parameter(name, value))
+            self.parameters.append(
+                Parameter(name, value, span=_span(name_tok))
+            )
             if s.at_punct(","):
                 s.advance()
                 continue
@@ -174,7 +183,8 @@ class _ProgramParser:
         s = self.stream
         dtype = s.expect(lexer.ID).value
         while True:
-            name = s.expect(lexer.ID).value
+            name_tok = s.expect(lexer.ID)
+            name = name_tok.value
             dims: List = []
             if s.at_punct("["):
                 s.advance()
@@ -183,7 +193,9 @@ class _ProgramParser:
                     s.advance()
                     dims.append(self._parse_dim())
                 s.expect_punct("]")
-            self.decls.append(VarDecl(name, dtype, tuple(dims)))
+            self.decls.append(
+                VarDecl(name, dtype, tuple(dims), span=_span(name_tok))
+            )
             if s.at_punct(","):
                 s.advance()
                 continue
@@ -216,7 +228,7 @@ class _ProgramParser:
 
     def _parse_stencil_def(self) -> None:
         s = self.stream
-        s.expect(lexer.ID, "stencil")
+        kw_tok = s.expect(lexer.ID, "stencil")
         name = s.expect(lexer.ID).value
         s.expect_punct("(")
         params: List[str] = []
@@ -259,6 +271,7 @@ class _ProgramParser:
                 body=tuple(body),
                 assign=assign,
                 pragma=self._pending_pragma,
+                span=_span(kw_tok),
             )
         )
         self._pending_pragma = None
@@ -272,7 +285,7 @@ class _ProgramParser:
             s.expect_punct("=")
             init = parse_expression(s)
             s.expect_punct(";")
-            return LocalDecl(name, dtype, init)
+            return LocalDecl(name, dtype, init, span=_span(tok))
         # Assignment: lhs (= | +=) rhs ;
         name_tok = s.expect(lexer.ID)
         lhs: object
@@ -294,7 +307,7 @@ class _ProgramParser:
         rhs = parse_expression(s)
         s.expect_punct(";")
         assert isinstance(lhs, (ArrayAccess, Name))
-        return Assignment(lhs, rhs, op=op_tok.value)
+        return Assignment(lhs, rhs, op=op_tok.value, span=_span(name_tok))
 
     def _parse_call(self) -> None:
         s = self.stream
@@ -308,4 +321,6 @@ class _ProgramParser:
                 args.append(s.expect(lexer.ID).value)
         s.expect_punct(")")
         s.expect_punct(";")
-        self.calls.append(StencilCall(name_tok.value, tuple(args)))
+        self.calls.append(
+            StencilCall(name_tok.value, tuple(args), span=_span(name_tok))
+        )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from . import lexer
-from .ast import AssignDirective, Pragma
+from .ast import AssignDirective, Pragma, SourceSpan
 from .errors import ParseError
 from .expr_parser import TokenStream
 
@@ -78,6 +78,7 @@ def parse_pragma(directive_text: str, line: int = 0) -> Pragma:
         block=block,
         unroll=tuple(unroll),
         occupancy=occupancy,
+        span=SourceSpan(line, 1) if line else None,
     )
 
 
@@ -122,4 +123,6 @@ def parse_assign(directive_text: str, line: int = 0) -> AssignDirective:
             placements.append((name, storage))
     if not placements:
         raise ParseError("#assign directive has no placements", line, 1)
-    return AssignDirective(tuple(placements))
+    return AssignDirective(
+        tuple(placements), span=SourceSpan(line, 1) if line else None
+    )

@@ -5,11 +5,16 @@ Section II of the paper: every referenced variable resolves, array ranks
 match their declarations, subscripts only use declared iterators, stencil
 calls match their definitions, and pragma/assign directives reference
 real iterators and arrays.
+
+Every :class:`ValidationError` raised here carries the ``line:col`` of
+the offending construct (threaded from lexer tokens through the AST's
+:class:`~repro.dsl.ast.SourceSpan` fields), so ``validate`` and
+``repro lint`` report positions consistently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from .ast import (
     ArrayAccess,
@@ -22,8 +27,23 @@ from .ast import (
     VarDecl,
     array_accesses,
     scalar_names,
+    span_of,
 )
 from .errors import ValidationError
+
+
+def _pos(*nodes) -> Tuple[int, int]:
+    """``(line, col)`` of the first node that carries a span, else (0, 0)."""
+    for node in nodes:
+        span = span_of(node)
+        if span is not None:
+            return span.line, span.col
+    return 0, 0
+
+
+def _fail(message: str, *nodes) -> None:
+    line, col = _pos(*nodes)
+    raise ValidationError(message, line, col)
 
 
 def validate_program(program: Program) -> None:
@@ -45,17 +65,22 @@ def call_bindings(program: Program, call: StencilCall) -> Dict[str, str]:
     try:
         stencil = program.stencil(call.name)
     except KeyError:
-        raise ValidationError(f"call to undefined stencil {call.name!r}") from None
-    if len(call.args) != len(stencil.params):
+        line, col = _pos(call)
         raise ValidationError(
+            f"call to undefined stencil {call.name!r}", line, col
+        ) from None
+    if len(call.args) != len(stencil.params):
+        _fail(
             f"stencil {call.name!r} takes {len(stencil.params)} argument(s), "
-            f"call passes {len(call.args)}"
+            f"call passes {len(call.args)}",
+            call,
         )
     decls = program.decl_map
     for arg in call.args:
         if arg not in decls:
-            raise ValidationError(
-                f"call to {call.name!r} passes undeclared variable {arg!r}"
+            _fail(
+                f"call to {call.name!r} passes undeclared variable {arg!r}",
+                call,
             )
     return dict(zip(stencil.params, call.args))
 
@@ -66,29 +91,33 @@ def call_bindings(program: Program, call: StencilCall) -> Dict[str, str]:
 
 
 def _check_unique_names(program: Program) -> None:
-    seen: Set[str] = set()
-    for kind, names in (
-        ("parameter", [p.name for p in program.parameters]),
-        ("iterator", list(program.iterators)),
-        ("variable", [d.name for d in program.decls]),
+    seen: Dict[str, object] = {}
+    for kind, nodes in (
+        ("parameter", [(p.name, p) for p in program.parameters]),
+        ("iterator", [(name, None) for name in program.iterators]),
+        ("variable", [(d.name, d) for d in program.decls]),
     ):
-        for name in names:
+        for name, node in nodes:
             if name in seen:
-                raise ValidationError(f"duplicate declaration of {name!r} ({kind})")
-            seen.add(name)
+                _fail(
+                    f"duplicate declaration of {name!r} ({kind})",
+                    node,
+                    seen[name],
+                )
+            seen[name] = node
     stencil_names: Set[str] = set()
     for s in program.stencils:
         if s.name in stencil_names:
-            raise ValidationError(f"duplicate stencil definition {s.name!r}")
+            _fail(f"duplicate stencil definition {s.name!r}", s)
         stencil_names.add(s.name)
         if len(set(s.params)) != len(s.params):
-            raise ValidationError(f"stencil {s.name!r} has duplicate parameters")
+            _fail(f"stencil {s.name!r} has duplicate parameters", s)
 
 
 def _check_parameters(program: Program) -> None:
     for p in program.parameters:
         if p.value <= 0:
-            raise ValidationError(f"parameter {p.name!r} must be positive")
+            _fail(f"parameter {p.name!r} must be positive", p)
     if not program.iterators:
         raise ValidationError("program declares no iterators")
 
@@ -99,12 +128,13 @@ def _check_decl_dims(program: Program) -> None:
         for dim in decl.dims:
             if isinstance(dim, str):
                 if dim not in params:
-                    raise ValidationError(
-                        f"array {decl.name!r} uses undeclared parameter {dim!r}"
+                    _fail(
+                        f"array {decl.name!r} uses undeclared parameter {dim!r}",
+                        decl,
                     )
             elif dim <= 0:
-                raise ValidationError(
-                    f"array {decl.name!r} has non-positive extent {dim}"
+                _fail(
+                    f"array {decl.name!r} has non-positive extent {dim}", decl
                 )
 
 
@@ -115,7 +145,7 @@ def _check_copy_lists(program: Program) -> None:
             raise ValidationError(f"copy list references undeclared {name!r}")
     for name in program.copyout:
         if not decls[name].is_array:
-            raise ValidationError(f"copyout of scalar {name!r}")
+            _fail(f"copyout of scalar {name!r}", decls[name])
 
 
 def _check_stencil_body(
@@ -132,52 +162,67 @@ def _check_stencil_body(
     for stmt in stencil.body:
         if isinstance(stmt, LocalDecl):
             if stmt.name in locals_seen or actual_decl(stmt.name) is not None:
-                raise ValidationError(
+                _fail(
                     f"stencil {stencil.name!r}: local {stmt.name!r} shadows "
-                    "an existing variable"
+                    "an existing variable",
+                    stmt,
+                    stencil,
                 )
-            _check_expr(program, stencil, stmt.init, locals_seen, bindings)
+            _check_expr(program, stencil, stmt.init, locals_seen, bindings, stmt)
             locals_seen.add(stmt.name)
             continue
         assert isinstance(stmt, Assignment)
-        _check_expr(program, stencil, stmt.rhs, locals_seen, bindings)
+        _check_expr(program, stencil, stmt.rhs, locals_seen, bindings, stmt)
         lhs = stmt.lhs
         if isinstance(lhs, ArrayAccess):
             decl = actual_decl(lhs.name)
             if decl is None:
-                raise ValidationError(
-                    f"stencil {stencil.name!r} writes undeclared array {lhs.name!r}"
+                _fail(
+                    f"stencil {stencil.name!r} writes undeclared array "
+                    f"{lhs.name!r}",
+                    stmt,
+                    stencil,
                 )
             if not decl.is_array or decl.ndim != lhs.ndim:
-                raise ValidationError(
+                _fail(
                     f"stencil {stencil.name!r}: write to {lhs.name!r} has rank "
-                    f"{lhs.ndim}, declaration has rank {decl.ndim}"
+                    f"{lhs.ndim}, declaration has rank {decl.ndim}",
+                    stmt,
+                    stencil,
                 )
             used: Set[str] = set()
             for idx in lhs.indices:
                 it = idx.single_iterator()
                 if it is None or it not in iterators:
-                    raise ValidationError(
+                    _fail(
                         f"stencil {stencil.name!r}: write subscript {idx} of "
-                        f"{lhs.name!r} must be 'iterator + constant'"
+                        f"{lhs.name!r} must be 'iterator + constant'",
+                        stmt,
+                        stencil,
                     )
                 if it in used:
-                    raise ValidationError(
+                    _fail(
                         f"stencil {stencil.name!r}: iterator {it!r} used twice "
-                        f"in write subscripts of {lhs.name!r}"
+                        f"in write subscripts of {lhs.name!r}",
+                        stmt,
+                        stencil,
                     )
                 used.add(it)
         else:
             decl = actual_decl(lhs.id)
             if decl is not None and decl.is_array:
-                raise ValidationError(
+                _fail(
                     f"stencil {stencil.name!r}: array {lhs.id!r} written "
-                    "without subscripts"
+                    "without subscripts",
+                    stmt,
+                    stencil,
                 )
             if stmt.op == "+=" and lhs.id not in locals_seen and decl is None:
-                raise ValidationError(
+                _fail(
                     f"stencil {stencil.name!r}: '+=' to {lhs.id!r} before "
-                    "any assignment"
+                    "any assignment",
+                    stmt,
+                    stencil,
                 )
             # Plain '=' to an unknown name introduces an implicit local
             # scalar (double), as in the paper's Figure 3c.
@@ -190,43 +235,57 @@ def _check_expr(
     expr,
     locals_seen: Set[str],
     bindings: Dict[str, str],
+    stmt=None,
 ) -> None:
     decls = program.decl_map
     iterators = set(program.iterators)
     for access in array_accesses(expr):
         decl = decls.get(bindings.get(access.name, access.name))
         if decl is None:
-            raise ValidationError(
-                f"stencil {stencil.name!r} reads undeclared array {access.name!r}"
+            _fail(
+                f"stencil {stencil.name!r} reads undeclared array "
+                f"{access.name!r}",
+                stmt,
+                stencil,
             )
         if not decl.is_array:
-            raise ValidationError(
-                f"stencil {stencil.name!r}: scalar {access.name!r} subscripted"
+            _fail(
+                f"stencil {stencil.name!r}: scalar {access.name!r} subscripted",
+                stmt,
+                stencil,
             )
         if decl.ndim != access.ndim:
-            raise ValidationError(
+            _fail(
                 f"stencil {stencil.name!r}: access {access} has rank "
-                f"{access.ndim}, declaration has rank {decl.ndim}"
+                f"{access.ndim}, declaration has rank {decl.ndim}",
+                stmt,
+                stencil,
             )
         for idx in access.indices:
             for it_name, _ in idx.coeffs:
                 if it_name not in iterators:
-                    raise ValidationError(
+                    _fail(
                         f"stencil {stencil.name!r}: subscript of "
-                        f"{access.name!r} uses non-iterator {it_name!r}"
+                        f"{access.name!r} uses non-iterator {it_name!r}",
+                        stmt,
+                        stencil,
                     )
     for name in scalar_names(expr):
         if name in locals_seen or name in iterators:
             continue
         decl = decls.get(bindings.get(name, name))
         if decl is None:
-            raise ValidationError(
-                f"stencil {stencil.name!r} reads undefined scalar {name!r}"
+            _fail(
+                f"stencil {stencil.name!r} reads undefined scalar {name!r}",
+                stmt,
+                stencil,
             )
         if decl.is_array:
-            raise ValidationError(
+            _fail(
                 f"stencil {stencil.name!r}: array {name!r} read without "
-                "subscripts"
+                "subscripts",
+                stmt,
+                stencil,
             )
 
 
@@ -236,24 +295,32 @@ def _check_pragma(program: Program, stencil: StencilDef) -> None:
         return
     iterators = set(program.iterators)
     if pragma.stream_dim is not None and pragma.stream_dim not in iterators:
-        raise ValidationError(
+        _fail(
             f"stencil {stencil.name!r}: stream dimension "
-            f"{pragma.stream_dim!r} is not a declared iterator"
+            f"{pragma.stream_dim!r} is not a declared iterator",
+            pragma,
+            stencil,
         )
     for it_name, factor in pragma.unroll:
         if it_name not in iterators:
-            raise ValidationError(
+            _fail(
                 f"stencil {stencil.name!r}: unroll iterator {it_name!r} "
-                "is not declared"
+                "is not declared",
+                pragma,
+                stencil,
             )
         if factor < 1:
-            raise ValidationError(
-                f"stencil {stencil.name!r}: unroll factor {factor} < 1"
+            _fail(
+                f"stencil {stencil.name!r}: unroll factor {factor} < 1",
+                pragma,
+                stencil,
             )
     for size in pragma.block:
         if size < 1:
-            raise ValidationError(
-                f"stencil {stencil.name!r}: block size {size} < 1"
+            _fail(
+                f"stencil {stencil.name!r}: block size {size} < 1",
+                pragma,
+                stencil,
             )
 
 
@@ -277,12 +344,16 @@ def _check_assign(
                 body_arrays.add(access.name)
     for name, _storage in stencil.assign.placements:
         if name not in body_arrays:
-            raise ValidationError(
+            _fail(
                 f"stencil {stencil.name!r}: #assign names {name!r} which is "
-                "not accessed in the body"
+                "not accessed in the body",
+                stencil.assign,
+                stencil,
             )
         decl = decls.get(bindings.get(name, name))
         if decl is not None and not decl.is_array:
-            raise ValidationError(
-                f"stencil {stencil.name!r}: #assign names scalar {name!r}"
+            _fail(
+                f"stencil {stencil.name!r}: #assign names scalar {name!r}",
+                stencil.assign,
+                stencil,
             )

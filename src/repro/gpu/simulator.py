@@ -170,7 +170,15 @@ def plan_occupancy(
     except ValueError as exc:
         if _metrics_enabled():
             _counter("simulate.prescreen_rejections").add()
-        raise PlanInfeasible(str(exc)) from exc
+            # Classify onto the stable lint rule code (RL201/202/203)
+            # so dashboards and the evaluation engine agree on names.
+            from ..lint.rules_plan import classify_occupancy_failure
+
+            _counter(
+                f"lint.reject.{classify_occupancy_failure(exc)}"
+            ).add()
+        context = dict(getattr(exc, "context", None) or {})
+        raise PlanInfeasible(str(exc), **context) from exc
 
 
 def simulate(

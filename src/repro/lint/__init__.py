@@ -1,0 +1,47 @@
+"""``repro.lint`` — static stencil-and-plan verifier.
+
+A rule-based static analyzer over the two artifact kinds the pipeline
+consumes: DSL **programs** (dependence/race analysis, halo/bounds
+checks, liveness, dtype consistency) and kernel **plans** (a fast
+legality prescreen the evaluation engine runs before any simulation).
+
+Every finding is a :class:`~repro.lint.diagnostics.Diagnostic` with a
+stable rule code (``RLxxx``), a severity, and a source span threaded
+from the DSL lexer.  ``repro lint`` renders findings as human text,
+JSON, or SARIF 2.1.0 (``repro.lint.sarif``); the evaluation engine
+turns error-severity plan findings into counted ``lint.*`` rejections
+(``docs/lint.md`` has the full rule catalog).
+"""
+
+from .diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    Rule,
+    RULES,
+    rule,
+)
+from .engine import extract_dsl_blocks, lint_program, lint_source
+from .rules_plan import check_plan, classify_occupancy_failure, plan_rejection
+from .sarif import sarif_log, write_sarif
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Diagnostic",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "check_plan",
+    "classify_occupancy_failure",
+    "extract_dsl_blocks",
+    "lint_program",
+    "lint_source",
+    "plan_rejection",
+    "rule",
+    "sarif_log",
+    "write_sarif",
+]

@@ -1,0 +1,113 @@
+"""The lint driver: source text -> :class:`LintReport`.
+
+``lint_source`` is the one-stop entry point the CLI and CI use; it runs
+the stages in dependency order and degrades gracefully — a program that
+does not parse yields exactly one RL101, a program that parses but does
+not validate yields RL102 plus whatever AST-level rules still fire, and
+only a lowerable program reaches the IR rules.
+
+``extract_dsl_blocks`` pulls DSL programs out of Python sources (the
+shipped ``examples/`` keep their specifications in triple-quoted
+strings) without importing — examples execute full tuning runs at
+import time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..dsl import parser
+from ..dsl.ast import Program, SourceSpan
+from ..dsl.errors import LexError, ParseError, ValidationError
+from ..dsl.validate import validate_program
+from .diagnostics import Diagnostic, LintReport
+from .rules_program import RL101, RL102, check_ast, check_ir
+
+
+def lint_program(program: Program, artifact: str = "<dsl>") -> LintReport:
+    """Lint an already-parsed program (AST rules, validation, IR rules)."""
+    findings: List[Diagnostic] = list(check_ast(program))
+    try:
+        validate_program(program)
+    except ValidationError as exc:
+        findings.append(
+            Diagnostic(
+                RL102,
+                exc.message,
+                span=SourceSpan(exc.line, exc.col) if exc.line else None,
+            )
+        )
+        return _finish(findings, artifact)
+    try:
+        from ..ir.stencil import build_ir
+
+        ir = build_ir(program)
+    except Exception as exc:  # pragma: no cover - validate should gate this
+        findings.append(Diagnostic(RL102, f"IR lowering failed: {exc}"))
+        return _finish(findings, artifact)
+    findings.extend(check_ir(program, ir))
+    return _finish(findings, artifact)
+
+
+def lint_source(source: str, artifact: str = "<dsl>") -> LintReport:
+    """Lint DSL source text end to end."""
+    from ..obs import span as _span
+
+    with _span("lint", artifact=artifact):
+        try:
+            program = parser.parse(source, validate=False)
+        except (LexError, ParseError) as exc:
+            finding = Diagnostic(
+                RL101,
+                exc.message,
+                span=SourceSpan(exc.line, exc.col) if exc.line else None,
+            )
+            return _finish([finding], artifact)
+        return lint_program(program, artifact=artifact)
+
+
+def _finish(findings: List[Diagnostic], artifact: str) -> LintReport:
+    stamped = tuple(
+        d if d.artifact == artifact else _restamp(d, artifact)
+        for d in findings
+    )
+    report = LintReport(stamped, artifact=artifact).sorted()
+    report.publish()
+    return report
+
+
+def _restamp(d: Diagnostic, artifact: str) -> Diagnostic:
+    return Diagnostic(d.rule, d.message, span=d.span, artifact=artifact)
+
+
+# ---------------------------------------------------------------------------
+# DSL extraction from Python sources
+# ---------------------------------------------------------------------------
+
+#: A triple-quoted string literal (either quote style), non-greedy.
+_TRIPLE_QUOTED = re.compile(
+    r'("""(?P<a>.*?)"""|\'\'\'(?P<b>.*?)\'\'\')', re.DOTALL
+)
+
+#: What makes a string a DSL program rather than a docstring: it must
+#: declare iterators, define a stencil, and copy something out — all at
+#: the start of a line, the way specifications are written.
+_DSL_MARKERS = (
+    re.compile(r"^\s*iterator\s+\w", re.MULTILINE),
+    re.compile(r"^\s*stencil\s+\w", re.MULTILINE),
+    re.compile(r"^\s*copyout\s+\w", re.MULTILINE),
+)
+
+
+def extract_dsl_blocks(text: str) -> List[Tuple[int, str]]:
+    """``(start_line, dsl_source)`` for each DSL block in a Python file."""
+    blocks: List[Tuple[int, str]] = []
+    for match in _TRIPLE_QUOTED.finditer(text):
+        body = match.group("a")
+        if body is None:
+            body = match.group("b")
+        if all(marker.search(body) for marker in _DSL_MARKERS):
+            start_line = text.count("\n", 0, match.start()) + 1
+            blocks.append((start_line, body))
+    return blocks

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output for lint findings.
+
+Emits the minimal-but-valid subset of the OASIS SARIF 2.1.0 schema that
+code-scanning consumers (GitHub, VS Code SARIF viewers) require: a
+single ``run`` with a fully described ``tool.driver`` (every rule in the
+catalog, whether it fired or not) and one ``result`` per finding with a
+``physicalLocation`` when the finding carries a source span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .diagnostics import Diagnostic, LintReport, RULES, SARIF_LEVELS
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/artemis-repro/repro"
+
+
+def _rule_descriptor(code: str) -> Dict[str, object]:
+    entry = RULES[code]
+    return {
+        "id": entry.code,
+        "name": entry.name,
+        "shortDescription": {"text": entry.summary},
+        "defaultConfiguration": {"level": SARIF_LEVELS[entry.severity]},
+    }
+
+
+def _result(diag: Diagnostic, rule_index: Dict[str, int]) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "ruleId": diag.code,
+        "ruleIndex": rule_index[diag.code],
+        "level": SARIF_LEVELS[diag.severity],
+        "message": {"text": diag.message},
+    }
+    location: Dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": diag.artifact},
+        }
+    }
+    if diag.span is not None and diag.span.line:
+        location["physicalLocation"]["region"] = {
+            "startLine": diag.span.line,
+            "startColumn": max(diag.span.col, 1),
+        }
+    out["locations"] = [location]
+    return out
+
+
+def sarif_log(reports: Iterable[LintReport], version: str = "") -> Dict:
+    """Assemble one SARIF log covering any number of lint reports."""
+    ordered_codes = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(ordered_codes)}
+    results: List[Dict[str, object]] = []
+    for report in reports:
+        for diag in report.sorted():
+            results.append(_result(diag, rule_index))
+    driver: Dict[str, object] = {
+        "name": TOOL_NAME,
+        "informationUri": TOOL_URI,
+        "rules": [_rule_descriptor(code) for code in ordered_codes],
+    }
+    if version:
+        driver["version"] = version
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def write_sarif(reports: Iterable[LintReport], path: str) -> Dict:
+    """Serialize :func:`sarif_log` to ``path``; returns the log dict."""
+    log = sarif_log(reports)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(log, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return log

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import html
 import math
+import re
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .explain import ExplainReport, build_explain
@@ -517,6 +518,45 @@ def _dispositions_section(report: ExplainReport) -> str:
     return "".join(parts)
 
 
+_LINT_REASON = re.compile(r"\[(RL\d{3})\]")
+
+
+def _lint_section(events: Sequence[Dict[str, Any]]) -> str:
+    """Prescreen rejections and prunes grouped by lint rule code."""
+    by_code: Dict[str, int] = {}
+    pruned = 0
+    for event in events:
+        kind = event.get("kind")
+        reason = str(event.get("reason") or "")
+        if kind == "candidate":
+            match = _LINT_REASON.search(reason)
+            if match:
+                code = match.group(1)
+                by_code[code] = by_code.get(code, 0) + 1
+        elif kind == "prune" and reason.startswith("lint."):
+            pruned += int(event.get("dropped", 1))
+    if not by_code and not pruned:
+        return ""
+    from ..lint.diagnostics import RULES
+
+    parts = ["<h2>Lint rejections</h2>"]
+    rows = ["<tr><th>rule</th><th></th><th class='num'>candidates</th></tr>"]
+    for code, count in sorted(by_code.items()):
+        name = RULES[code].name if code in RULES else ""
+        rows.append(
+            f"<tr><td>{_esc(code)}</td><td class='reason'>{_esc(name)}</td>"
+            f"<td class='num'>{count}</td></tr>"
+        )
+    if pruned:
+        rows.append(
+            "<tr><td>RL205</td><td class='reason'>overtile "
+            "(pruned before measurement)</td>"
+            f"<td class='num'>{pruned}</td></tr>"
+        )
+    parts.append("<table>" + "".join(rows) + "</table>")
+    return "".join(parts)
+
+
 def render_html(
     events: Sequence[Dict[str, Any]],
     title: str = "ARTEMIS search report",
@@ -554,6 +594,7 @@ def render_html(
         _advice_section(report),
         _phases_section(report),
         _dispositions_section(report),
+        _lint_section(events),
     ]
     return (
         "<!DOCTYPE html>"

@@ -72,6 +72,12 @@ def run_bench(
             "hits": stats.hits,
             "simulations": stats.misses,
             "screened": stats.screened,
+            # Prescreen-vs-simulate split: ``lint_rejections`` counts
+            # candidates rejected with a stable RLxxx rule code before
+            # the model ran; ``simulate_calls`` the full model
+            # invocations that remained (misses minus screened).
+            "lint_rejections": stats.lint_rejections,
+            "simulate_calls": stats.simulations,
             "rungs_skipped": stats.rungs_skipped,
             "cache_hit_rate": round(hit_rate, 4),
             "evaluations": outcome.evaluations,

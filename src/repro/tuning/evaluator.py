@@ -67,6 +67,7 @@ from ..gpu.simulator import (
     simulate,
 )
 from ..ir.stencil import ProgramIR
+from ..lint.rules_plan import plan_rejection
 from ..obs import span as _span
 from ..obs.search import SearchLog
 from ..resilience import (
@@ -141,6 +142,7 @@ class EvalStats:
     infeasible: int = 0  # requests that turned out infeasible
     rungs_skipped: int = 0  # escalation rungs resolved without simulating
     screened: int = 0  # rejected by the occupancy screen, not simulated
+    lint_rejections: int = 0  # screened rejections carrying a lint rule code
     failures: int = 0  # candidates that failed persistently (non-infeasible)
     retries: int = 0  # transient-failure retries performed
     timeouts: int = 0  # evaluations that exceeded the per-eval deadline
@@ -166,6 +168,7 @@ class EvalStats:
             infeasible=self.infeasible,
             rungs_skipped=self.rungs_skipped,
             screened=self.screened,
+            lint_rejections=self.lint_rejections,
             failures=self.failures,
             retries=self.retries,
             timeouts=self.timeouts,
@@ -183,6 +186,7 @@ class EvalStats:
             infeasible=self.infeasible - before.infeasible,
             rungs_skipped=self.rungs_skipped - before.rungs_skipped,
             screened=self.screened - before.screened,
+            lint_rejections=self.lint_rejections - before.lint_rejections,
             failures=self.failures - before.failures,
             retries=self.retries - before.retries,
             timeouts=self.timeouts - before.timeouts,
@@ -199,6 +203,7 @@ class EvalStats:
             "infeasible": self.infeasible,
             "rungs_skipped": self.rungs_skipped,
             "screened": self.screened,
+            "lint_rejections": self.lint_rejections,
             "failures": self.failures,
             "retries": self.retries,
             "timeouts": self.timeouts,
@@ -226,6 +231,7 @@ class EvalStats:
             f"{self.requests} requests, {self.hits} cache hits, "
             f"{self.simulations} simulated, {self.rungs_skipped} rungs "
             f"skipped, {self.screened} screened "
+            f"[{self.lint_rejections} by lint rule] "
             f"({self.simulations_avoided} simulations avoided), "
             f"{self.wall_s * 1e3:.1f} ms wall "
             f"({self.cpu_s * 1e3:.1f} ms cpu-sum)"
@@ -462,16 +468,23 @@ class PlanEvaluator:
         try:
             if self.validate:
                 validate_plan(ir, plan)
-            # Launch-feasibility screen from the cheap register-dependent
-            # suffix: candidates the device cannot run are rejected
-            # without paying for the counter and timing models.
+            # Legality prescreen: structural lint rules plus the cheap
+            # register-dependent occupancy suffix — candidates the
+            # device cannot run are rejected without paying for the
+            # counter and timing models, and every rejection carries a
+            # stable ``RLxxx`` rule code.
             if self.prescreen and not degraded:
-                try:
-                    plan_occupancy(ir, plan, self.device)
-                except INFEASIBLE:
+                rejection = plan_rejection(
+                    ir, plan, self.device, assume_validated=True
+                )
+                if rejection is not None:
                     self.stats.screened += 1
+                    self.stats.lint_rejections += 1
                     screened = True
-                    raise
+                    raise PlanInfeasible(
+                        f"[{rejection.code}] {rejection.message}",
+                        rule=rejection.code,
+                    )
             if self.fault_injector is not None:
                 self.fault_injector.invoke(
                     plan_fingerprint(plan), degraded=degraded

@@ -1,0 +1,20 @@
+"""Shared fixtures for the lint test suite."""
+
+import pytest
+
+from repro.suite import get
+
+
+@pytest.fixture(scope="session")
+def smoother_ir():
+    return get("7pt-smoother").ir()
+
+
+@pytest.fixture(scope="session")
+def hypterm_ir():
+    return get("hypterm").ir()
+
+
+@pytest.fixture(scope="session")
+def rhs4sgcurv_ir():
+    return get("rhs4sgcurv").ir()

@@ -1,0 +1,95 @@
+"""End-to-end tests for the ``repro lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BROKEN = """
+parameter N=3;
+iterator k, j, i;
+double A[N,N,N], B[N,N,N], C[N,N,N];
+copyin A;
+stencil s (Y, X) { Y[k][j][i] = X[k][j][i+2] + X[k][j][i-1]; }
+s (B, A);
+copyout B;
+"""
+
+WARN_ONLY = """
+parameter N=64;
+iterator k, j, i;
+double A[N,N,N], B[N,N,N], C[N,N,N];
+copyin A;
+stencil s (Y, X) { Y[k][j][i] = X[k][j][i+1] + X[k][j][i-1]; }
+s (B, A);
+copyout B;
+"""
+
+
+class TestExitCodes:
+    def test_clean_benchmark_exits_zero(self, capsys):
+        assert main(["lint", "7pt-smoother"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_error_findings_exit_one(self, tmp_path, capsys):
+        spec = tmp_path / "broken.dsl"
+        spec.write_text(BROKEN)
+        assert main(["lint", str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "RL105" in out
+        assert f"{spec}:" in out  # rendered findings carry the artifact
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        spec = tmp_path / "warn.dsl"
+        spec.write_text(WARN_ONLY)
+        assert main(["lint", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "RL106" in out and "1 warning(s)" in out
+
+    def test_whole_suite_is_clean(self, capsys):
+        assert main(["lint", "--suite"]) == 0
+        out = capsys.readouterr().out
+        assert "11 artifact(s), 0 finding(s)" in out
+
+    def test_nothing_to_lint_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_unknown_spec_is_usage_error(self, capsys):
+        assert main(["lint", "no-such-benchmark"]) == 2
+        assert "neither a built-in benchmark" in capsys.readouterr().err
+
+
+class TestArtifacts:
+    def test_sarif_written(self, tmp_path, capsys):
+        spec = tmp_path / "broken.dsl"
+        spec.write_text(BROKEN)
+        sarif = tmp_path / "lint.sarif"
+        assert main(["lint", str(spec), "--sarif", str(sarif)]) == 1
+        document = json.loads(sarif.read_text())
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"]
+
+    def test_json_written(self, tmp_path, capsys):
+        spec = tmp_path / "broken.dsl"
+        spec.write_text(BROKEN)
+        out = tmp_path / "lint.json"
+        assert main(["lint", str(spec), "--json", str(out)]) == 1
+        document = json.loads(out.read_text())
+        assert document["totals"]["artifacts"] == 1
+        assert document["totals"]["errors"] >= 1
+        assert document["artifacts"][0]["diagnostics"]
+
+    def test_python_file_blocks_extracted(self, tmp_path, capsys):
+        py = tmp_path / "example.py"
+        py.write_text(f'SPEC = """{BROKEN}"""\n')
+        assert main(["lint", str(py)]) == 1
+        out = capsys.readouterr().out
+        assert "RL105" in out
+
+    def test_examples_dir_lints_clean(self, capsys):
+        assert main(["lint", "--examples", "examples"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out

@@ -1,0 +1,106 @@
+"""Property tests: ill-formed programs never pass lint silently.
+
+A generator perturbs a known-clean template with one randomly chosen,
+randomly parameterized corruption; the property is that ``lint_source``
+(a) never raises and (b) always reports at least one finding, with
+error-class corruptions producing error severity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint import lint_source
+
+TEMPLATE = """
+parameter N={extent};
+iterator k, j, i;
+double A[N,N,N], B[N,N,N];
+copyin {copyin};
+{pragma}stencil s (Y, X) {{ Y[k][j][i] = {rhs}; }}
+s (B, A);
+copyout B;
+"""
+
+
+def render(extent=64, copyin="A", pragma="", rhs="X[k][j][i+1] + X[k][j][i-1]"):
+    return TEMPLATE.format(
+        extent=extent, copyin=copyin, pragma=pragma, rhs=rhs
+    )
+
+
+BOGUS_NAMES = st.sampled_from(["w", "q", "zz", "kk", "foo"])
+
+
+@st.composite
+def corrupted_programs(draw):
+    """(source, expect_error) pairs covering every corruption class."""
+    kind = draw(
+        st.sampled_from(
+            [
+                "zero_extent",
+                "stream_unknown",
+                "unroll_unknown",
+                "unroll_stream",
+                "halo_overflow",
+                "copyin_unknown",
+                "unknown_call",
+                "garbage",
+                "in_place_race",
+                "uninitialized",
+            ]
+        )
+    )
+    if kind == "zero_extent":
+        return render(extent=draw(st.integers(-4, 0))), True
+    if kind == "stream_unknown":
+        name = draw(BOGUS_NAMES)
+        return render(pragma=f"#pragma stream {name} block (32,16)\n"), True
+    if kind == "unroll_unknown":
+        name = draw(BOGUS_NAMES)
+        pragma = f"#pragma stream k block (32,16) unroll {name}=2\n"
+        return render(pragma=pragma), True
+    if kind == "unroll_stream":
+        factor = draw(st.integers(2, 8))
+        pragma = f"#pragma stream k block (32,16) unroll k={factor}\n"
+        return render(pragma=pragma), True
+    if kind == "halo_overflow":
+        # The template's -1/+1 halo needs extent > 2 to stay in bounds.
+        return render(extent=draw(st.integers(1, 2))), True
+    if kind == "copyin_unknown":
+        return render(copyin=f"A, {draw(BOGUS_NAMES)}"), True
+    if kind == "unknown_call":
+        return render().replace("s (B, A);", "t (B, A);"), True
+    if kind == "garbage":
+        prefix = draw(st.sampled_from(["!!!", "stencil {", "42;", ")"]))
+        return prefix + "\n" + render(), True
+    if kind == "in_place_race":
+        offset = draw(st.integers(1, 3))
+        src = render(rhs=f"X[k][j][i+{offset}]").replace("s (B, A);", "s (A, A);")
+        return src, True
+    # uninitialized: nothing copied in, single sweep -> warning only.
+    return render().replace("copyin A;", "copyin B;"), False
+
+
+@given(corrupted_programs())
+@settings(max_examples=80, deadline=None)
+def test_corrupted_programs_never_pass_silently(case):
+    source, expect_error = case
+    report = lint_source(source)
+    assert len(report) > 0, f"lint passed a corrupted program:\n{source}"
+    if expect_error:
+        assert report.has_errors, (
+            f"corruption demoted to non-error:\n{source}\n{report.render()}"
+        )
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_lint_source_never_raises_on_arbitrary_text(text):
+    lint_source(text)  # must not raise, whatever the input
+
+
+@given(st.integers(4, 128).filter(lambda n: n % 4 == 0))
+@settings(max_examples=20, deadline=None)
+def test_clean_template_stays_clean_across_extents(extent):
+    # The dual property: the generator's baseline really is clean, so a
+    # finding in the corrupted case is attributable to the corruption.
+    assert not lint_source(render(extent=extent))

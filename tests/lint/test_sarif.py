@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 emission: required fields, rule metadata, locations."""
+
+import json
+
+from repro.lint import RULES, lint_source, sarif_log, write_sarif
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, TOOL_NAME
+
+BROKEN = """
+parameter N=3;
+iterator k, j, i;
+double A[N,N,N], B[N,N,N], C[N,N,N];
+copyin A;
+stencil s (Y, X) { Y[k][j][i] = X[k][j][i+2] + X[k][j][i-1]; }
+s (B, A);
+copyout B;
+"""
+
+
+def _log():
+    return sarif_log([lint_source(BROKEN, artifact="broken.dsl")])
+
+
+class TestLogStructure:
+    def test_required_top_level_fields(self):
+        log = _log()
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+
+    def test_tool_driver_lists_full_catalog(self):
+        driver = _log()["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert driver["informationUri"]
+        codes = [r["id"] for r in driver["rules"]]
+        assert codes == sorted(RULES)
+        for entry in driver["rules"]:
+            assert entry["shortDescription"]["text"]
+
+    def test_results_reference_rules_by_index(self):
+        run = _log()["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"], "broken program must produce findings"
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+
+    def test_findings_carry_physical_locations(self):
+        run = _log()["runs"][0]
+        located = [
+            r for r in run["results"] if r.get("locations")
+        ]
+        assert located, "span-bearing findings must emit locations"
+        loc = located[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "broken.dsl"
+        region = loc["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_severity_maps_to_sarif_levels(self):
+        # error -> error, warning -> warning, info -> note: RL105 is an
+        # error and RL106 a warning in the same broken program.
+        run = sarif_log(
+            [lint_source(BROKEN.replace("copyin A;", "copyin A, C;"))]
+        )["runs"][0]
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels.get("RL105") == "error"
+
+    def test_multiple_reports_aggregate_into_one_run(self):
+        reports = [
+            lint_source(BROKEN, artifact="a.dsl"),
+            lint_source(BROKEN, artifact="b.dsl"),
+        ]
+        run = sarif_log(reports)["runs"][0]
+        uris = {
+            loc["physicalLocation"]["artifactLocation"]["uri"]
+            for result in run["results"]
+            for loc in result.get("locations", [])
+        }
+        assert uris == {"a.dsl", "b.dsl"}
+
+    def test_clean_report_yields_empty_results(self):
+        from repro.suite import get
+
+        log = sarif_log([lint_source(get("7pt-smoother").dsl())])
+        assert log["runs"][0]["results"] == []
+
+
+class TestWriteSarif:
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "lint.sarif"
+        write_sarif([lint_source(BROKEN)], str(path))
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"]
