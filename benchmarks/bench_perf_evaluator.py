@@ -49,20 +49,33 @@ def test_evaluator_speedup(name):
     assert fast.schedule == seed.schedule
     assert fast.tflops == seed.tflops
     assert fast.variant == seed.variant
-    # Acceptance: >= 2x reduction in simulate() calls.
-    assert fast_calls > 0
-    assert seed_calls >= 2 * fast_calls
+    # Priced-vs-simulated split: ``priced`` counts logical model
+    # evaluations (vectorized lanes and scalar calls alike);
+    # ``fast_calls`` only the scalar ``simulate()`` residue, which the
+    # family backend can drive all the way to zero.
+    stats = fast.eval_stats
+    priced = stats.simulations
+    assert priced > 0
+    # The global simulate() counter also sees the pipeline's own
+    # post-tune classification calls, so it bounds rather than equals
+    # the engine's scalar residue (priced minus vectorized lanes).
+    assert stats.vectorized > 0
+    assert stats.vectorized <= priced
+    assert fast_calls <= priced
+    # Acceptance: >= 2x reduction in logical model evaluations.
+    assert seed_calls >= 2 * priced
 
     # Every prescreen rejection must carry a lint rule code: the
     # engine's occupancy screen is routed through repro.lint, so the
     # two counters track each other exactly.
-    stats = fast.eval_stats
     assert stats.lint_rejections == stats.screened
 
     _results[name] = {
         "engine": {
             "wall_s": round(fast_wall, 4),
+            "priced_candidates": priced,
             "simulate_calls": fast_calls,
+            "vectorized": stats.vectorized,
             "prescreen_rejections": stats.screened,
             "lint_rejections": stats.lint_rejections,
         },
@@ -70,7 +83,10 @@ def test_evaluator_speedup(name):
             "wall_s": round(seed_wall, 4),
             "simulate_calls": seed_calls,
         },
-        "call_reduction": round(seed_calls / fast_calls, 2),
+        "price_reduction": round(seed_calls / priced, 2),
+        "call_reduction": (
+            round(seed_calls / fast_calls, 2) if fast_calls else None
+        ),
         "wall_speedup": round(seed_wall / fast_wall, 2),
         "tflops": fast.tflops,
         "identical_schedule": True,
@@ -80,12 +96,14 @@ def test_evaluator_speedup(name):
         f"evaluation engine vs seed path: {name}",
         ["quantity", "engine", "seed mode"],
         [
+            ["priced candidates", priced, seed_calls],
             ["simulate() calls", fast_calls, seed_calls],
+            ["vectorized lanes", stats.vectorized, 0],
             ["wall-clock (s)", fmt(fast_wall), fmt(seed_wall)],
             ["TFLOPS", fmt(fast.tflops), fmt(seed.tflops)],
             [
                 "reduction / speedup",
-                f"{seed_calls / fast_calls:.2f}x calls",
+                f"{seed_calls / priced:.2f}x prices",
                 f"{seed_wall / fast_wall:.2f}x wall",
             ],
         ],

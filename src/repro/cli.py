@@ -53,7 +53,7 @@ from .resilience import (
     atomic_write_text,
 )
 from .suite import BENCHMARKS, get as get_benchmark
-from .tuning import PlanEvaluator
+from .tuning import EXECUTOR_MODES, PlanEvaluator
 
 
 def _load(source: str):
@@ -162,6 +162,15 @@ def _resilience_engine(args, device: DeviceSpec) -> PlanEvaluator:
         timeout_s=getattr(args, "eval_timeout", None),
         failure_budget=getattr(args, "failure_budget", None),
         fault_injector=_fault_injector_from_env(),
+        vectorize=_vectorize_choice(args),
+        executor=getattr(args, "executor", None) or "thread",
+    )
+
+
+def _vectorize_choice(args):
+    """Map the --pricing flag onto the evaluator's vectorize knob."""
+    return {"vector": True, "scalar": False}.get(
+        getattr(args, "pricing", None)
     )
 
 
@@ -539,7 +548,12 @@ def cmd_bench(args) -> int:
         from .suite.bench import DEFAULT_BENCHMARKS
 
         names = list(DEFAULT_BENCHMARKS)
-    results = run_bench(names, device=_device(args.device))
+    results = run_bench(
+        names,
+        device=_device(args.device),
+        vectorize=_vectorize_choice(args),
+        executor=getattr(args, "executor", None) or "thread",
+    )
     problems = None
     if args.check or args.baseline:
         baseline_path = args.baseline or "BENCH_search.json"
@@ -550,7 +564,12 @@ def cmd_bench(args) -> int:
             )
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = _json.load(handle)
-        problems = compare_bench(results, baseline, tolerance=args.tolerance)
+        problems = compare_bench(
+            results,
+            baseline,
+            tolerance=args.tolerance,
+            wall_tolerance=args.gate_wall,
+        )
     print(format_bench(results, problems))
     if args.out:
         atomic_write_json(args.out, results, indent=2, sort_keys=True)
@@ -592,6 +611,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--eval-stats", action="store_true",
             help="print evaluation-engine cache/throughput statistics",
+        )
+        p.add_argument(
+            "--executor", choices=EXECUTOR_MODES, default="thread",
+            help="batch executor: 'thread' pool (default) or a 'process' "
+                 "pool that sidesteps the GIL for scalar pricing",
+        )
+        p.add_argument(
+            "--pricing", choices=("vector", "scalar"), default=None,
+            help="force the family-pricing backend on ('vector') or off "
+                 "('scalar'); default: vectorize when NumPy is available. "
+                 "Results are bit-identical either way",
         )
         return p
 
@@ -759,6 +789,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tolerance", type=float, default=0.15,
         help="relative drift allowed on gated metrics (default 0.15)",
+    )
+    p.add_argument(
+        "--gate-wall", type=float, default=None, metavar="TOL",
+        help="also gate wall_s: fail when it grows more than TOL "
+             "(relative) over the baseline; off by default because CI "
+             "machines are noisy",
+    )
+    p.add_argument(
+        "--executor", choices=EXECUTOR_MODES, default="thread",
+        help="evaluation-engine batch executor (thread or process pool)",
+    )
+    p.add_argument(
+        "--pricing", choices=("vector", "scalar"), default=None,
+        help="force the family-pricing backend on or off "
+             "(default: vectorize when NumPy is available)",
     )
     p.set_defaults(func=cmd_bench)
 

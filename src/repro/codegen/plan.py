@@ -82,10 +82,12 @@ class KernelPlan:
             raise ValueError("concurrent_chunks must be >= 1")
         if not (1 <= self.max_registers <= 255):
             raise ValueError("max_registers must be in [1, 255]")
-        if any(b < 1 for b in self.block):
-            raise ValueError("block sizes must be positive")
-        if any(u < 1 for u in self.unroll):
-            raise ValueError("unroll factors must be positive")
+        for b in self.block:
+            if b < 1:
+                raise ValueError("block sizes must be positive")
+        for u in self.unroll:
+            if u < 1:
+                raise ValueError("unroll factors must be positive")
         for _, storage in self.placements:
             if storage not in STORAGE_CLASSES:
                 raise ValueError(f"unknown storage class {storage!r}")
@@ -147,7 +149,33 @@ class KernelPlan:
         return total
 
     def replace(self, **changes) -> "KernelPlan":
-        return replace(self, **changes)
+        # Hand-rolled for speed: the tuners derive every candidate from a
+        # seed via replace(), so this runs tens of thousands of times per
+        # search.  One C-level __dict__ copy plus re-running
+        # __post_init__ validation beats dataclasses.replace's generic
+        # machinery by an order of magnitude.  The pinned identity
+        # caches survive the copy exactly when the changed fields are
+        # factored out of them: ``_family_key`` excludes only
+        # ``max_registers``, ``_structural_key`` additionally the grid
+        # axes (block, unroll, unroll_blocked) — so the register
+        # escalation ladder and the tile sweep inherit their parents'
+        # keys instead of recomputing them per candidate.
+        new = object.__new__(KernelPlan)
+        d = new.__dict__
+        d.update(self.__dict__)
+        changed = changes.keys()
+        if changed - _STRUCTURAL_EXEMPT:
+            d.pop("_structural_key", None)
+        if changed - _FAMILY_EXEMPT:
+            d.pop("_family_key", None)
+        for name, value in changes.items():
+            if name not in _PLAN_FIELD_SET:
+                raise TypeError(
+                    f"replace() got an unexpected field {name!r}"
+                )
+            d[name] = value
+        new.__post_init__()
+        return new
 
     def describe(self) -> str:
         """Human-readable one-line summary (used by reports and tuning logs)."""
@@ -176,6 +204,19 @@ class KernelPlan:
             parts.append(f"shm({','.join(shm)})")
         parts.append(f"regs<={self.max_registers}")
         return " ".join(parts)
+
+
+#: Declared field names, in order, for the fast ``KernelPlan.replace``.
+_PLAN_FIELDS = tuple(f.name for f in KernelPlan.__dataclass_fields__.values())
+_PLAN_FIELD_SET = frozenset(_PLAN_FIELDS)
+
+#: Fields factored out of the pinned identity caches (see
+#: ``repro.codegen.tiling.plan_family_key`` / ``plan_structural_key``):
+#: a ``replace`` touching only these keeps the corresponding cache.
+_FAMILY_EXEMPT = frozenset({"max_registers"})
+_STRUCTURAL_EXEMPT = frozenset(
+    {"max_registers", "block", "unroll", "unroll_blocked"}
+)
 
 
 @dataclass(frozen=True)

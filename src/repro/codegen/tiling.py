@@ -64,22 +64,60 @@ def plan_family_key(plan: KernelPlan) -> tuple:
     shape — geometry, stages, buffers, shared memory and register
     *demand* are all identical; only the compile-time register cap (and
     therefore spilling and occupancy) may differ.
+
+    The key is pinned on the (frozen) plan object after the first call:
+    the memo layers below hash it on every lookup, thousands of times
+    per tuning run.
     """
-    return (
-        plan.kernel_names,
-        plan.block,
-        plan.time_tile,
-        plan.streaming,
-        plan.stream_axis,
-        plan.concurrent_chunks,
-        plan.unroll,
-        plan.unroll_blocked,
-        plan.prefetch,
-        plan.perspective,
-        plan.placements,
-        plan.retime,
-        plan.fold_groups,
-    )
+    key = plan.__dict__.get("_family_key")
+    if key is None:
+        key = (
+            plan.kernel_names,
+            plan.block,
+            plan.time_tile,
+            plan.streaming,
+            plan.stream_axis,
+            plan.concurrent_chunks,
+            plan.unroll,
+            plan.unroll_blocked,
+            plan.prefetch,
+            plan.perspective,
+            plan.placements,
+            plan.retime,
+            plan.fold_groups,
+        )
+        object.__setattr__(plan, "_family_key", key)
+    return key
+
+
+def plan_structural_key(plan: KernelPlan) -> tuple:
+    """Identity of a plan's *structure*: the family key with the grid
+    knobs (block tile, unroll factors, register cap) factored out too.
+
+    Plans sharing a structural key differ only in tile sizes, unroll
+    factors and the register budget — exactly the axes the vectorized
+    family pricer (:func:`repro.gpu.pricing.price_family`) sweeps as
+    NumPy arrays.  Which arrays are buffered where, the stage list, the
+    per-array halos and every branch of the counter model are constant
+    across the structural group; only the arithmetic over tile extents
+    varies.
+    """
+    key = plan.__dict__.get("_structural_key")
+    if key is None:
+        key = (
+            plan.kernel_names,
+            plan.time_tile,
+            plan.streaming,
+            plan.stream_axis,
+            plan.concurrent_chunks,
+            plan.prefetch,
+            plan.perspective,
+            plan.placements,
+            plan.retime,
+            plan.fold_groups,
+        )
+        object.__setattr__(plan, "_structural_key", key)
+    return key
 
 
 def _plan_memoized(tag: str, ir: ProgramIR, plan: KernelPlan, compute,
@@ -98,6 +136,30 @@ def _plan_memoized(tag: str, ir: ProgramIR, plan: KernelPlan, compute,
     with _span(f"planning.{tag}"):
         value = compute()
     _PLAN_MEMO[key] = (ir, value)
+    return value
+
+
+def _ir_memoized(tag: str, ir: ProgramIR, key: tuple, compute):
+    """Like :func:`_plan_memoized` but with an explicit sub-plan key.
+
+    Several geometric analyses depend on only a few plan fields (the
+    stage list reads nothing but ``kernel_names``/``time_tile``/
+    ``fold_groups``), so keying them by the full family key would
+    recompute them once per tile size.  Shares the plan cache and its
+    enable switch, so seed-equivalence benchmarks still disable
+    everything at once.
+    """
+    if not _PLAN_MEMO_ENABLED:
+        return compute()
+    full_key = (tag, id(ir)) + key
+    hit = _PLAN_MEMO.get(full_key)
+    if hit is not None and hit[0] is ir:
+        return hit[1]
+    if _metrics_enabled():
+        _counter(f"tiling.plan_cache_miss.{tag}").add()
+    with _span(f"planning.{tag}"):
+        value = compute()
+    _PLAN_MEMO[full_key] = (ir, value)
     return value
 
 
@@ -151,11 +213,17 @@ def build_stages(ir: ProgramIR, plan: KernelPlan) -> List[Stage]:
     backwards: an earlier stage must compute a region expanded by the
     total halo of everything after it (overlapped tiling).
 
-    Memoized per (IR, plan family): every register rung, simulation and
-    code-generation query of one candidate shares the same Stage objects.
+    Memoized per (IR, kernel set, time tile, folding) — the only plan
+    fields the stage list reads — so every tile-size and unroll variant
+    of one structural family shares the same Stage objects.
     """
     return list(
-        _plan_memoized("stages", ir, plan, lambda: _build_stages(ir, plan))
+        _ir_memoized(
+            "stages",
+            ir,
+            (plan.kernel_names, plan.time_tile, plan.fold_groups),
+            lambda: _build_stages(ir, plan),
+        )
     )
 
 

@@ -34,6 +34,7 @@ from ..codegen.plan import KernelPlan, PERSPECTIVE_OUTPUT
 from ..codegen.tiling import (
     LaunchGeometry,
     Stage,
+    _ir_memoized,
     _plan_memoized,
     build_stages,
     buffer_requirements,
@@ -140,12 +141,12 @@ def _plan_prefix(ir: ProgramIR, plan: KernelPlan) -> PlanPrefix:
         live_bytes_per_block=_live_bytes_per_block(
             ir, plan, geometry, stages, buffers
         ),
-        intermediates=frozenset(_intermediate_arrays(ir, plan, stages)),
+        intermediates=intermediate_arrays(ir, plan),
         inter_by_consumer={
             (spec.stage_index + 1, spec.array): spec
             for spec in intermediate_specs(ir, plan)
         },
-        externally_visible=frozenset(_externally_visible(ir, plan)),
+        externally_visible=externally_visible(ir, plan),
     )
 
 
@@ -432,6 +433,29 @@ def _live_bytes_per_block(ir, plan, geometry, stages, buffers) -> float:
             total += spec.plane_elements * arr_esize
         break  # the first stage dominates the steady-state window
     return total
+
+
+def externally_visible(ir: ProgramIR, plan: KernelPlan) -> frozenset:
+    """Memoized :func:`_externally_visible` — reads only the kernel set,
+    so every geometry/unroll/register variant shares one computation."""
+    return _ir_memoized(
+        "ext_visible",
+        ir,
+        (plan.kernel_names,),
+        lambda: frozenset(_externally_visible(ir, plan)),
+    )
+
+
+def intermediate_arrays(ir: ProgramIR, plan: KernelPlan) -> frozenset:
+    """Memoized :func:`_intermediate_arrays` (stage-structure keyed)."""
+    return _ir_memoized(
+        "inter_arrays",
+        ir,
+        (plan.kernel_names, plan.time_tile, plan.fold_groups),
+        lambda: frozenset(
+            _intermediate_arrays(ir, plan, tuple(build_stages(ir, plan)))
+        ),
+    )
 
 
 def _externally_visible(ir: ProgramIR, plan: KernelPlan) -> set:

@@ -93,7 +93,16 @@ def kernel_retimable(
     """
     if iterator is None:
         iterator = streaming_iterator(ir, instance)
-    return all(statement_retimable(s, iterator) for s in instance.statements)
+    from .analysis import memoized_kv
+
+    return memoized_kv(
+        "retimable",
+        instance,
+        iterator,
+        lambda: all(
+            statement_retimable(s, iterator) for s in instance.statements
+        ),
+    )
 
 
 def streaming_iterator(ir: ProgramIR, instance: StencilInstance) -> str:

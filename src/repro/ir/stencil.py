@@ -99,28 +99,49 @@ class StencilInstance:
     def local_statements(self) -> Tuple[Statement, ...]:
         return tuple(s for s in self.statements if s.is_local)
 
+    # The access sets are pure functions of ``statements``, but walking
+    # the expression trees of a deeply fused kernel is expensive and the
+    # tuners ask for them thousands of times per search.  The instance
+    # is frozen, so each result is computed once and pinned on the
+    # object (``replace`` builds a new instance with a cold cache).
+
     def arrays_written(self) -> Tuple[str, ...]:
+        cached = self.__dict__.get("_arrays_written")
+        if cached is not None:
+            return cached
         seen: List[str] = []
         for stmt in self.statements:
             if isinstance(stmt.lhs, ArrayAccess) and stmt.target not in seen:
                 seen.append(stmt.target)
-        return tuple(seen)
+        result = tuple(seen)
+        object.__setattr__(self, "_arrays_written", result)
+        return result
 
     def arrays_read(self) -> Tuple[str, ...]:
+        cached = self.__dict__.get("_arrays_read")
+        if cached is not None:
+            return cached
         seen: List[str] = []
         for stmt in self.statements:
             for access in array_accesses(stmt.rhs):
                 if access.name not in seen:
                     seen.append(access.name)
-        return tuple(seen)
+        result = tuple(seen)
+        object.__setattr__(self, "_arrays_read", result)
+        return result
 
     def io_arrays(self) -> Tuple[str, ...]:
         """All arrays touched, reads first, preserving first-seen order."""
+        cached = self.__dict__.get("_io_arrays")
+        if cached is not None:
+            return cached
         seen: List[str] = []
         for name in self.arrays_read() + self.arrays_written():
             if name not in seen:
                 seen.append(name)
-        return tuple(seen)
+        result = tuple(seen)
+        object.__setattr__(self, "_io_arrays", result)
+        return result
 
     def read_accesses(self) -> Iterator[ArrayAccess]:
         for stmt in self.statements:
@@ -144,11 +165,19 @@ class ProgramIR:
 
     @property
     def array_map(self) -> Dict[str, ArrayInfo]:
-        return {a.name: a for a in self.arrays}
+        cached = self.__dict__.get("_array_map")
+        if cached is None:
+            cached = {a.name: a for a in self.arrays}
+            object.__setattr__(self, "_array_map", cached)
+        return cached
 
     @property
     def scalar_map(self) -> Dict[str, str]:
-        return dict(self.scalars)
+        cached = self.__dict__.get("_scalar_map")
+        if cached is None:
+            cached = dict(self.scalars)
+            object.__setattr__(self, "_scalar_map", cached)
+        return cached
 
     @property
     def ndim(self) -> int:

@@ -331,6 +331,20 @@ def check_plan(
     return LintReport(tuple(findings), artifact=artifact)
 
 
+def fusion_rejection(ir: ProgramIR, plan: KernelPlan) -> Optional[Diagnostic]:
+    """The structural (grid-independent) half of :func:`plan_rejection`.
+
+    Fusion legality depends only on ``plan.kernel_names`` — never on the
+    block shape, unroll factors or register cap — so the evaluation
+    engine probes it once per plan *family* and reuses the finding for
+    every lane, instead of re-walking the dependence DAG per candidate.
+    (The per-candidate ``lint.reject.*`` counter still fires at
+    rejection time, not here.)
+    """
+    fusion = _fusion_findings(ir, plan)
+    return fusion[0] if fusion else None
+
+
 def plan_rejection(
     ir: ProgramIR,
     plan: KernelPlan,

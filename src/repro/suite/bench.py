@@ -10,8 +10,21 @@ never varies between runs), so a committed baseline
 that silently doubles evaluator traffic, or degrades the winner, fails
 ``repro bench --check`` even though every functional test still passes.
 
-Wall time is recorded but never gated — CI machines are too noisy for a
-wall-clock threshold to mean anything.
+Wall time is recorded but gated only on opt-in
+(``compare_bench(..., wall_tolerance=...)``) — CI machines are noisy,
+so the wall gate needs a generous tolerance and an explicit decision
+to enable it.
+
+Schema 2 splits the cost profile along the vectorized-pricing seam:
+``priced_candidates`` counts logical model evaluations (every candidate
+that got a price, scalar or vectorized), ``simulate_calls`` the actual
+scalar ``simulate()`` invocations that remained, ``vectorized`` the
+lanes priced by the family backend, and ``cache_hit_rate_by_phase``
+attributes the memo hit rate to the tuner stage that earned it.  On a
+cold run the stages are all-miss by design (stage 2 deduplicates
+against measured families before requesting), so the near-zero overall
+rate is expected: the only hits are deep tuning's post-tune winner
+classifications, now visible in their own ``classify`` phase.
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..gpu.device import DeviceSpec, P100
+from ..gpu.simulator import simulate_call_count
 from ..tuning.evaluator import PlanEvaluator
 
 __all__ = [
@@ -31,7 +45,7 @@ __all__ = [
     "format_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: One temporal benchmark (deep tuning + opt(T)) and one spatial
 #: register-pressure benchmark (fission + global alternatives) — the
@@ -53,15 +67,27 @@ def run_bench(
     benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
     device: DeviceSpec = P100,
     top_k: int = 2,
+    vectorize: Optional[bool] = None,
+    executor: str = "thread",
 ) -> Dict[str, Any]:
-    """Run the suite and collect the search-cost profile per benchmark."""
+    """Run the suite and collect the search-cost profile per benchmark.
+
+    ``vectorize``/``executor`` configure the shared :class:`PlanEvaluator`
+    (defaults match production: family pricing on when numpy is
+    available, thread executor) — the before/after comparison artifact
+    runs the same suite with ``vectorize=False`` to measure the scalar
+    path on the same machine.
+    """
     from ..pipeline import optimize
     from . import get as get_benchmark
 
     results: Dict[str, Any] = {}
     for name in benchmarks:
         ir = get_benchmark(name).ir()
-        engine = PlanEvaluator(device=device)
+        engine = PlanEvaluator(
+            device=device, vectorize=vectorize, executor=executor
+        )
+        calls_before = simulate_call_count()
         start = time.perf_counter()
         outcome = optimize(ir, device=device, top_k=top_k, evaluator=engine)
         wall = time.perf_counter() - start
@@ -72,18 +98,34 @@ def run_bench(
             "hits": stats.hits,
             "simulations": stats.misses,
             "screened": stats.screened,
-            # Prescreen-vs-simulate split: ``lint_rejections`` counts
-            # candidates rejected with a stable RLxxx rule code before
-            # the model ran; ``simulate_calls`` the full model
-            # invocations that remained (misses minus screened).
+            # Prescreen-vs-price-vs-simulate split: ``lint_rejections``
+            # counts candidates rejected with a stable RLxxx rule code
+            # before the model ran; ``priced_candidates`` the logical
+            # model evaluations that remained (misses minus screened);
+            # ``simulate_calls`` the scalar ``simulate()`` invocations
+            # actually made (priced minus vectorized lanes).
             "lint_rejections": stats.lint_rejections,
-            "simulate_calls": stats.simulations,
+            "priced_candidates": stats.simulations,
+            "simulate_calls": simulate_call_count() - calls_before,
+            "vectorized": stats.vectorized,
             "rungs_skipped": stats.rungs_skipped,
             "cache_hit_rate": round(hit_rate, 4),
+            "cache_hit_rate_by_phase": {
+                phase: {
+                    "requests": ps.requests,
+                    "hits": ps.hits,
+                    "hit_rate": round(ps.hit_rate, 4),
+                }
+                for phase, ps in engine.phase_stats.items()
+            },
             "evaluations": outcome.evaluations,
             "best_gflops": round(outcome.tflops * 1e3, 3),
             "variant": outcome.variant,
             "wall_s": round(wall, 4),
+            # Engine-attributed busy time (merged intervals): isolates
+            # pricing/evaluation cost from planning and codegen, so the
+            # pricing-only speedup is measurable next to end-to-end.
+            "engine_wall_s": round(stats.wall_s, 4),
         }
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -97,12 +139,17 @@ def compare_bench(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
     tolerance: float = 0.15,
+    wall_tolerance: Optional[float] = None,
 ) -> List[str]:
     """Regressions in ``current`` vs ``baseline``; empty when clean.
 
     Each gated metric may drift up to ``tolerance`` (relative) in its
     harmless direction without comment; past it in the regressing
     direction produces one message.  Improvements are never flagged.
+
+    ``wall_tolerance`` opts into gating ``wall_s`` (relative growth
+    past the threshold fails); leave None on machines whose load the
+    caller does not control.
     """
     problems: List[str] = []
     base_benchmarks = baseline.get("benchmarks", {})
@@ -138,6 +185,17 @@ def compare_bench(
                 f"{name}: winning variant changed "
                 f"({base_variant} -> {cur.get('variant')})"
             )
+        if wall_tolerance is not None:
+            base_wall = base.get("wall_s")
+            cur_wall = cur.get("wall_s")
+            if base_wall and cur_wall is not None:
+                change = (cur_wall - base_wall) / base_wall
+                if change > wall_tolerance:
+                    problems.append(
+                        f"{name}: wall_s regressed {change * 100:+.1f}% "
+                        f"({base_wall} -> {cur_wall}, tolerance "
+                        f"{wall_tolerance * 100:.0f}%)"
+                    )
     return problems
 
 
@@ -148,12 +206,16 @@ def format_bench(
     lines: List[str] = [
         f"search benchmark (device {results.get('device', '?')}, "
         f"top_k={results.get('top_k', '?')})",
-        f"{'benchmark':15s} {'requests':>9s} {'sims':>7s} {'hit%':>6s} "
+        f"{'benchmark':15s} {'requests':>9s} {'priced':>7s} {'simcall':>8s} "
+        f"{'vector':>7s} {'hit%':>6s} "
         f"{'GFLOPS':>9s} {'variant':14s} {'wall s':>7s}",
     ]
     for name, row in results.get("benchmarks", {}).items():
         lines.append(
-            f"{name:15s} {row['requests']:9d} {row['simulations']:7d} "
+            f"{name:15s} {row['requests']:9d} "
+            f"{row.get('priced_candidates', row['simulations']):7d} "
+            f"{row.get('simulate_calls', 0):8d} "
+            f"{row.get('vectorized', 0):7d} "
             f"{row['cache_hit_rate'] * 100:5.1f}% "
             f"{row['best_gflops']:9.1f} {row['variant']:14s} "
             f"{row['wall_s']:7.3f}"

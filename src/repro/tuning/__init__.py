@@ -10,6 +10,7 @@ from .deeptuning import (
     schedule_to_program_plan,
 )
 from .evaluator import (
+    EXECUTOR_MODES,
     EvalStats,
     FailureRecord,
     PlanEvaluator,
@@ -40,6 +41,7 @@ from .space import (
 __all__ = [
     "DeepTuningEntry",
     "DeepTuningResult",
+    "EXECUTOR_MODES",
     "EvalStats",
     "FailureRecord",
     "FissionCandidate",

@@ -173,8 +173,12 @@ def deep_tune(
                     evaluations += tuner.evaluations
                     # The winner was just tuned, so this classification
                     # simulation is a cache hit — the identical
-                    # SimulationResult object.
-                    sim = engine.evaluate(ir, result.best_plan)
+                    # SimulationResult object.  Phase-labelled so the
+                    # bench profile can attribute it (on a cold run
+                    # these are the *only* cache hits: the stages
+                    # themselves are all-miss by design).
+                    with engine.phase("classify"):
+                        sim = engine.evaluate(ir, result.best_plan)
                     report = classify_result(sim, engine.device)
                 bandwidth = report.bound_level in ("dram", "tex", "shm")
                 entries.append(
@@ -242,26 +246,63 @@ class FusionSchedule:
         return " (+) ".join(parts)
 
 
+#: Below this many inner-loop operations (``iterations x degrees``) the
+#: scalar DP wins — per-step numpy dispatch overhead exceeds the work.
+VECTOR_DP_MIN_OPS = 4096
+
+
 def fusion_schedule(result: DeepTuningResult, iterations: int) -> FusionSchedule:
-    """Solve opt(T) exactly via dynamic programming."""
+    """Solve opt(T) exactly via dynamic programming.
+
+    For long horizons the per-step minimization runs as one numpy
+    reduction over the degree axis; the two paths are bitwise-identical
+    (float64 addition either way, and ``argmin``'s first-occurrence
+    tie-break picks the same tile as the scalar loop's strict-less
+    update, which also keeps the first minimum in ascending ``x``).
+    """
     if iterations < 0:
         raise UsageError("iteration count must be non-negative")
-    k = result.k
-    best: List[float] = [0.0] + [float("inf")] * iterations
+    if iterations == 0:
+        return FusionSchedule(total_time_s=0.0, tiles=())
+    # Both paths touch exactly degrees 1..min(k, T), so a gap in the
+    # tuned entries raises the same KeyError the scalar loop would.
+    k = min(result.k, iterations)
+    f_vals = [result.f(x) for x in range(1, k + 1)]
+    np = None
+    if iterations * k >= VECTOR_DP_MIN_OPS:
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a runtime dep
+            np = None
     choice: List[int] = [0] * (iterations + 1)
-    for t in range(1, iterations + 1):
-        for x in range(1, min(k, t) + 1):
-            cost = result.f(x) + best[t - x]
-            if cost < best[t]:
-                best[t] = cost
-                choice[t] = x
+    if np is not None:
+        f_arr = np.asarray(f_vals, dtype=np.float64)
+        best_arr = np.empty(iterations + 1, dtype=np.float64)
+        best_arr[0] = 0.0
+        for t in range(1, iterations + 1):
+            m = min(k, t)
+            # best[t-1], best[t-2], ..., best[t-m] — aligned with x=1..m.
+            costs = f_arr[:m] + best_arr[t - m:t][::-1]
+            idx = int(np.argmin(costs))
+            best_arr[t] = costs[idx]
+            choice[t] = idx + 1
+        total = float(best_arr[iterations])
+    else:
+        best: List[float] = [0.0] + [float("inf")] * iterations
+        for t in range(1, iterations + 1):
+            for x in range(1, min(k, t) + 1):
+                cost = f_vals[x - 1] + best[t - x]
+                if cost < best[t]:
+                    best[t] = cost
+                    choice[t] = x
+        total = best[iterations]
     tiles: List[int] = []
     t = iterations
     while t > 0:
         tiles.append(choice[t])
         t -= choice[t]
     tiles.reverse()
-    return FusionSchedule(total_time_s=best[iterations], tiles=tuple(tiles))
+    return FusionSchedule(total_time_s=total, tiles=tuple(tiles))
 
 
 def schedule_to_program_plan(

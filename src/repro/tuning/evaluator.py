@@ -22,9 +22,16 @@ size, so all search code routes measurements through one
   (32 → 64 → 128 → 255) collapses: demand is known up front and the
   evaluator jumps straight to the first non-spilling rung instead of
   simulating every spilling one.
+* **vectorized family pricing** — batches are grouped by structural
+  plan key and each large group is priced in one NumPy pass over the
+  whole candidate axis (:mod:`repro.gpu.pricing`), bit-for-bit equal to
+  the scalar path; per-lane finalization replays the normal accounting,
+  memoization and telemetry.  Per-phase activity is attributed through
+  :meth:`PlanEvaluator.phase` (``docs/performance_model.md``).
 * **parallel batch evaluation** — :meth:`PlanEvaluator.evaluate_batch`
   fans candidate evaluation out over a thread pool with deterministic,
-  input-ordered results.
+  input-ordered results; ``executor='process'`` instead pre-computes
+  the residual scalar simulations on a fork-based process pool.
 * **fault tolerance** — every batch job is guarded: an unexpected
   (non-infeasibility) exception in one candidate is captured per-job
   and resolved by the engine's ``on_error`` policy (``fail-fast`` |
@@ -48,6 +55,7 @@ they are extra trips into the model — but are tallied separately in
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -57,7 +65,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..codegen.plan import KernelPlan, REGISTER_LEVELS
 from ..codegen.resources import InvalidPlan, validate_plan
-from ..codegen.tiling import plan_family_key, set_plan_cache_enabled
+from ..codegen.tiling import (
+    plan_family_key,
+    plan_structural_key,
+    set_plan_cache_enabled,
+)
 from ..gpu.counters import SimulationResult
 from ..gpu.device import DeviceSpec, P100
 from ..gpu.simulator import (
@@ -67,7 +79,7 @@ from ..gpu.simulator import (
     simulate,
 )
 from ..ir.stencil import ProgramIR
-from ..lint.rules_plan import plan_rejection
+from ..lint.rules_plan import _count_rejection, fusion_rejection, plan_rejection
 from ..obs import span as _span
 from ..obs.search import SearchLog
 from ..resilience import (
@@ -97,6 +109,79 @@ def _obs_count(name: str, value: int = 1) -> None:
 #: simulates every rung like the seed implementation (kept for
 #: benchmarking and equivalence tests).
 ESCALATION_MODES = ("incremental", "ladder")
+
+#: Batch executors: ``thread`` (default) fans jobs over a thread pool;
+#: ``process`` pre-computes the residual scalar simulations on a
+#: fork-based process pool, then finalizes serially in the parent so
+#: that all accounting, memoization and telemetry stay in one place.
+EXECUTOR_MODES = ("thread", "process")
+
+#: Smallest structural group worth routing through the vectorized
+#: pricing backend — below this the per-family setup cost (structure
+#: capture, array assembly) beats the per-lane savings.
+MIN_FAMILY = 4
+
+
+def _pricing_module():
+    """The vectorized pricing backend, or None when NumPy is absent.
+
+    Resolved lazily and cached so environments without NumPy degrade to
+    the scalar path instead of failing at import time.
+    """
+    global _PRICING
+    if _PRICING is _UNRESOLVED:
+        try:
+            from ..gpu import pricing as _mod
+
+            _PRICING = _mod
+        except Exception:  # pragma: no cover - no-numpy environments
+            _PRICING = None
+    return _PRICING
+
+
+_UNRESOLVED = object()
+_PRICING = _UNRESOLVED
+
+#: Shared state for fork-based process-pool workers: the parent stashes
+#: ``token -> (ir, device, validate, levels)`` immediately before
+#: forking, the children inherit it through copy-on-write memory, and
+#: the parent drops it when the pool closes.  Nothing unpicklable ever
+#: crosses the pipe — workers are addressed by token and ship back
+#: ``(family_key, registers, SimulationResult)`` primitives.
+_POOL_STATE: Dict[int, tuple] = {}
+_POOL_TOKEN_COUNTER = itertools.count()
+
+
+def _pool_simulate_chunk(args):
+    """Process-pool worker: simulate a chunk of plans, ship primitives.
+
+    For spill-free batches (``levels`` set) the worker resolves each
+    plan's register rung exactly like ``_evaluate_spill_free`` before
+    simulating; for plain batches it simulates the plan as given.
+    Infeasible or failing candidates are simply skipped — the parent
+    re-derives their disposition on its own accounting path.
+    """
+    token, plans = args
+    ir, device, validate, levels = _POOL_STATE[token]
+    shipped = []
+    for plan in plans:
+        try:
+            if validate:
+                validate_plan(ir, plan)
+            candidate = plan
+            if levels is not None:
+                demand = plan_prefix(ir, plan).reg_demand
+                level = next((lv for lv in levels if demand <= lv), None)
+                if level is None:
+                    continue
+                candidate = plan.replace(max_registers=level)
+            result = simulate(ir, candidate, device)
+        except Exception:  # noqa: BLE001 — parent re-derives disposition
+            continue
+        shipped.append(
+            (plan_family_key(candidate), candidate.max_registers, result)
+        )
+    return shipped
 
 
 @dataclass(frozen=True)
@@ -143,6 +228,7 @@ class EvalStats:
     rungs_skipped: int = 0  # escalation rungs resolved without simulating
     screened: int = 0  # rejected by the occupancy screen, not simulated
     lint_rejections: int = 0  # screened rejections carrying a lint rule code
+    vectorized: int = 0  # priced via the vectorized family backend
     failures: int = 0  # candidates that failed persistently (non-infeasible)
     retries: int = 0  # transient-failure retries performed
     timeouts: int = 0  # evaluations that exceeded the per-eval deadline
@@ -152,7 +238,12 @@ class EvalStats:
 
     @property
     def simulations(self) -> int:
-        """Full simulator invocations actually made by the engine."""
+        """Candidates priced by the model (scalar *or* vectorized).
+
+        ``misses - screened`` — the logical count of full prices the
+        engine produced.  ``vectorized`` of these came from the family
+        backend; the remainder were scalar ``simulate`` calls.
+        """
         return self.misses - self.screened
 
     @property
@@ -169,6 +260,7 @@ class EvalStats:
             rungs_skipped=self.rungs_skipped,
             screened=self.screened,
             lint_rejections=self.lint_rejections,
+            vectorized=self.vectorized,
             failures=self.failures,
             retries=self.retries,
             timeouts=self.timeouts,
@@ -187,6 +279,7 @@ class EvalStats:
             rungs_skipped=self.rungs_skipped - before.rungs_skipped,
             screened=self.screened - before.screened,
             lint_rejections=self.lint_rejections - before.lint_rejections,
+            vectorized=self.vectorized - before.vectorized,
             failures=self.failures - before.failures,
             retries=self.retries - before.retries,
             timeouts=self.timeouts - before.timeouts,
@@ -194,6 +287,28 @@ class EvalStats:
             wall_s=self.wall_s - before.wall_s,
             cpu_s=self.cpu_s - before.cpu_s,
         )
+
+    def add(self, other: "EvalStats") -> None:
+        """Accumulate another snapshot/delta into this one in place."""
+        self.requests += other.requests
+        self.hits += other.hits
+        self.misses += other.misses
+        self.infeasible += other.infeasible
+        self.rungs_skipped += other.rungs_skipped
+        self.screened += other.screened
+        self.lint_rejections += other.lint_rejections
+        self.vectorized += other.vectorized
+        self.failures += other.failures
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.degraded += other.degraded
+        self.wall_s += other.wall_s
+        self.cpu_s += other.cpu_s
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per request (0.0 on an idle engine)."""
+        return self.hits / self.requests if self.requests else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -204,6 +319,7 @@ class EvalStats:
             "rungs_skipped": self.rungs_skipped,
             "screened": self.screened,
             "lint_rejections": self.lint_rejections,
+            "vectorized": self.vectorized,
             "failures": self.failures,
             "retries": self.retries,
             "timeouts": self.timeouts,
@@ -229,7 +345,8 @@ class EvalStats:
     def describe(self) -> str:
         text = (
             f"{self.requests} requests, {self.hits} cache hits, "
-            f"{self.simulations} simulated, {self.rungs_skipped} rungs "
+            f"{self.simulations} priced "
+            f"[{self.vectorized} vectorized], {self.rungs_skipped} rungs "
             f"skipped, {self.screened} screened "
             f"[{self.lint_rejections} by lint rule] "
             f"({self.simulations_avoided} simulations avoided), "
@@ -300,6 +417,8 @@ class PlanEvaluator:
         failure_budget: Optional[object] = None,
         fault_injector: Optional[FaultInjector] = None,
         search_log: Optional[SearchLog] = None,
+        vectorize: Optional[bool] = None,
+        executor: str = "thread",
     ):
         if escalation not in ESCALATION_MODES:
             raise UsageError(
@@ -313,6 +432,17 @@ class PlanEvaluator:
             )
         if timeout_s is not None and timeout_s <= 0:
             raise UsageError("timeout_s must be positive")
+        if executor not in EXECUTOR_MODES:
+            raise UsageError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {EXECUTOR_MODES}"
+            )
+        if executor == "process" and fault_injector is not None:
+            raise UsageError(
+                "executor='process' cannot honour a FaultInjector: "
+                "pool workers run in separate processes and would not "
+                "observe the injected fault schedule"
+            )
         self.device = device
         self.memoize = memoize
         self.workers = workers
@@ -340,6 +470,23 @@ class PlanEvaluator:
         #: screens, infeasibilities, faults included — emits exactly one
         #: ``candidate`` event, so the log mirrors ``stats.requests``.
         self.search_log = search_log
+        #: route batch evaluation through the vectorized family-pricing
+        #: backend (``repro.gpu.pricing``) when structural groups are
+        #: large enough.  Defaults to "whenever NumPy is importable";
+        #: results are bit-for-bit identical either way, so this is a
+        #: pure throughput knob.
+        if vectorize is None:
+            vectorize = _pricing_module() is not None
+        self.vectorize = bool(vectorize)
+        self.executor = executor
+        #: per-phase activity, accumulated by :meth:`phase` — tuners
+        #: wrap their stages so cache behaviour can be reported per
+        #: phase instead of as one misleading whole-run ratio.
+        self.phase_stats: Dict[str, EvalStats] = {}
+        #: process-pool precomputed simulation results, keyed like the
+        #: memo cache; consumed (popped) by ``_evaluate`` in place of a
+        #: scalar ``simulate`` call.
+        self._precomputed: Dict[tuple, SimulationResult] = {}
         self.stats = EvalStats()
         #: most recent persistent failures, for post-mortem reporting
         #: (bounded; counters in ``stats`` are exact).
@@ -369,8 +516,38 @@ class PlanEvaluator:
         and equivalence tests use this as the comparison baseline.
         """
         return cls(
-            device=device, memoize=False, escalation="ladder", prescreen=False
+            device=device,
+            memoize=False,
+            escalation="ladder",
+            prescreen=False,
+            vectorize=False,
         )
+
+    # -- phase accounting ------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute engine activity inside the block to phase ``name``.
+
+        Deltas accumulate in :attr:`phase_stats`, so re-entering a phase
+        (e.g. stage 2 running once per stage-1 survivor) extends its
+        bucket.  Phases are flat — tuners label their top-level stages;
+        nesting would double-count and is not supported.
+        """
+        before = self.stats.snapshot()
+        try:
+            yield
+        finally:
+            delta = self.stats.since(before)
+            with self._lock:
+                bucket = self.phase_stats.setdefault(name, EvalStats())
+            bucket.add(delta)
+
+    def phase_dict(self) -> Dict[str, Dict[str, float]]:
+        """``phase -> as_dict()`` for reports and benchmark baselines."""
+        return {
+            name: stats.as_dict() for name, stats in self.phase_stats.items()
+        }
 
     # -- timing ----------------------------------------------------------------
 
@@ -445,9 +622,32 @@ class PlanEvaluator:
             degraded=degraded,
         )
 
-    def _evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
+    def _evaluate(
+        self,
+        ir: ProgramIR,
+        plan: KernelPlan,
+        rejection_fn=None,
+        produce_fn=None,
+    ) -> SimulationResult:
+        """One request through the engine, scalar or family-priced.
+
+        Without hooks this is the scalar path: validate, prescreen,
+        simulate.  The family-pricing path injects two hooks carrying a
+        pre-priced lane — ``rejection_fn(plan) -> (code, message) |
+        None`` replaces the prescreen (the lane already knows its
+        occupancy verdict; it may also *raise* an INFEASIBLE directly to
+        replay a validation failure) and ``produce_fn(plan)`` replaces
+        the ``simulate`` call.  Everything observable — request/hit/
+        miss/screen/infeasible accounting, memoization, candidate
+        telemetry, fault injection — is identical in both modes, and
+        degraded mode always drops the hooks and re-runs the scalar
+        conservative path.
+        """
         self.stats.requests += 1
         degraded = self._in_degraded_mode()
+        if degraded:
+            rejection_fn = None
+            produce_fn = None
         key = self._key(ir, plan)
         if self.memoize and not degraded:
             with self._lock:
@@ -466,30 +666,42 @@ class PlanEvaluator:
         self.stats.misses += 1
         screened = False
         try:
-            if self.validate:
-                validate_plan(ir, plan)
             # Legality prescreen: structural lint rules plus the cheap
             # register-dependent occupancy suffix — candidates the
             # device cannot run are rejected without paying for the
             # counter and timing models, and every rejection carries a
             # stable ``RLxxx`` rule code.
-            if self.prescreen and not degraded:
-                rejection = plan_rejection(
-                    ir, plan, self.device, assume_validated=True
-                )
-                if rejection is not None:
-                    self.stats.screened += 1
-                    self.stats.lint_rejections += 1
-                    screened = True
-                    raise PlanInfeasible(
-                        f"[{rejection.code}] {rejection.message}",
-                        rule=rejection.code,
+            rejection = None
+            if rejection_fn is not None:
+                rejection = rejection_fn(plan)
+            else:
+                if self.validate:
+                    validate_plan(ir, plan)
+                if self.prescreen and not degraded:
+                    diag = plan_rejection(
+                        ir, plan, self.device, assume_validated=True
                     )
+                    if diag is not None:
+                        rejection = (diag.code, diag.message)
+            if rejection is not None:
+                code, message = rejection
+                self.stats.screened += 1
+                self.stats.lint_rejections += 1
+                screened = True
+                raise PlanInfeasible(f"[{code}] {message}", rule=code)
             if self.fault_injector is not None:
                 self.fault_injector.invoke(
                     plan_fingerprint(plan), degraded=degraded
                 )
-            result = simulate(ir, plan, self.device)
+            if produce_fn is not None:
+                result = produce_fn(plan)
+            else:
+                result = None
+                if self._precomputed and not degraded:
+                    with self._lock:
+                        result = self._precomputed.pop(key, None)
+                if result is None:
+                    result = simulate(ir, plan, self.device)
         except INFEASIBLE as exc:
             self.stats.infeasible += 1
             if self.memoize:
@@ -620,13 +832,23 @@ class PlanEvaluator:
         With ``workers`` (or the evaluator default) > 1, evaluations run
         on a thread pool; ordering and values are identical to the
         serial path because the model is pure and results are assembled
-        by input position.
+        by input position.  Structural groups large enough for the
+        vectorized backend are priced whole-axis in one NumPy pass;
+        small groups (and any group the vector path cannot handle) run
+        the scalar route — results are bit-for-bit identical either way.
         """
         plans = list(plans)
-        jobs = [
-            (p, lambda p=p: self.try_evaluate(ir, p, catch=catch))
-            for p in plans
-        ]
+        jobs = None
+        if self._vector_eligible(len(plans)):
+            jobs = self._family_jobs(
+                ir, plans, spill_free=False, catch=catch
+            )
+        if jobs is None:
+            jobs = [
+                (p, lambda p=p: self.try_evaluate(ir, p, catch=catch))
+                for p in plans
+            ]
+            self._maybe_precompute(ir, plans, workers)
         return self._run_batch(jobs, workers, on_result=on_result)
 
     def evaluate_spill_free_batch(
@@ -639,11 +861,381 @@ class PlanEvaluator:
     ) -> List[Optional[Tuple[KernelPlan, SimulationResult]]]:
         """Batch variant of :meth:`evaluate_spill_free`, input-ordered."""
         plans = list(plans)
-        jobs = [
-            (p, lambda p=p: self.evaluate_spill_free(ir, p, levels=levels))
-            for p in plans
-        ]
+        levels = tuple(levels)
+        jobs = None
+        if self._vector_eligible(len(plans)) and self.escalation == "incremental":
+            jobs = self._family_jobs(
+                ir, plans, spill_free=True, levels=levels
+            )
+        if jobs is None:
+            jobs = [
+                (p, lambda p=p: self.evaluate_spill_free(ir, p, levels=levels))
+                for p in plans
+            ]
+            self._maybe_precompute(ir, plans, workers, levels=levels)
         return self._run_batch(jobs, workers, on_result=on_result)
+
+    # -- vectorized family pricing ---------------------------------------------
+
+    def _vector_eligible(self, count: int) -> bool:
+        return (
+            self.vectorize
+            and count >= MIN_FAMILY
+            and _pricing_module() is not None
+        )
+
+    def _family_jobs(
+        self,
+        ir: ProgramIR,
+        plans: List[KernelPlan],
+        spill_free: bool,
+        levels: Tuple[int, ...] = REGISTER_LEVELS,
+        catch: tuple = INFEASIBLE,
+    ) -> Optional[List[tuple]]:
+        """Build input-ordered ``(plan, thunk)`` jobs with family pricing.
+
+        Plans are grouped by structural key; groups of ``MIN_FAMILY`` or
+        more are priced in one vectorized pass (eagerly, on the
+        submitting thread, under the engine timer) and their thunks
+        merely *finalize* the pre-priced lane through the normal
+        accounting.  Small groups — and any group whose vector pricing
+        fails for an unexpected reason — keep scalar thunks.  Returns
+        None when grouping itself fails, meaning "use the scalar batch".
+        """
+        with self._timed():
+            try:
+                groups: Dict[tuple, List[int]] = {}
+                for index, plan in enumerate(plans):
+                    groups.setdefault(
+                        plan_structural_key(plan), []
+                    ).append(index)
+            except Exception:  # noqa: BLE001 — odd plan: scalar batch
+                return None
+            jobs: List[Optional[tuple]] = [None] * len(plans)
+            for indexes in groups.values():
+                members = [plans[i] for i in indexes]
+                thunks = None
+                if len(indexes) >= MIN_FAMILY:
+                    try:
+                        if spill_free:
+                            thunks = self._price_spill_free_group(
+                                ir, members, levels
+                            )
+                        else:
+                            thunks = self._price_group(ir, members, catch)
+                    except Exception:  # noqa: BLE001 — fall back to scalar
+                        _obs_count("pricing.scalar_fallbacks")
+                        thunks = None
+                if thunks is None:
+                    if spill_free:
+                        thunks = [
+                            (
+                                lambda p=p: self.evaluate_spill_free(
+                                    ir, p, levels=levels
+                                )
+                            )
+                            for p in members
+                        ]
+                    else:
+                        thunks = [
+                            (lambda p=p: self.try_evaluate(ir, p, catch=catch))
+                            for p in members
+                        ]
+                for i, thunk in zip(indexes, thunks):
+                    jobs[i] = (plans[i], thunk)
+            return jobs  # type: ignore[return-value]
+
+    def _price_spill_free_group(
+        self, ir: ProgramIR, group: List[KernelPlan], levels: Tuple[int, ...]
+    ) -> List:
+        """Finalize-thunks for one structural family, spill-free mode.
+
+        Mirrors :meth:`_evaluate_spill_free` lane by lane: validation
+        failures and all-level spills prune without a request;
+        everything else resolves to the first non-spilling rung and
+        finalizes the pre-priced lane through :meth:`_evaluate`.
+        """
+        pricing = _pricing_module()
+        proto = group[0]
+        if self.validate:
+            try:
+                validate_plan(ir, proto)
+            except INFEASIBLE as exc:
+                reason = f"infeasible: {exc}"
+                return [
+                    (lambda p=p: self._prune_job(p, reason))
+                    for p in group
+                ]
+        structure = pricing.family_structure(ir, proto)
+        fusion = fusion_rejection(ir, proto) if self.prescreen else None
+        if fusion is None:
+            # One-shot: demand, rung resolution, and pricing share a
+            # single pass over the family's lane arrays.  A lane the
+            # memo already holds is priced wastefully, but misses
+            # dominate searches so overwhelmingly that one fused pass
+            # beats a demand pass plus a memo-filtered pricing pass.
+            demands, positions, lanes = structure.price_spill_free(
+                group, levels, self.device
+            )
+        else:
+            # Fusion-rejected families never reach the occupancy screen
+            # or the model, so pricing their lanes would be pure waste;
+            # rung resolution still needs the demand vector.
+            demands = structure.demand(group)
+            positions = lanes = None
+        thunks: List = []
+        for i, plan in enumerate(group):
+            demand = int(demands[i])
+            if positions is not None:
+                position = int(positions[i])
+            else:
+                level = next((lv for lv in levels if demand <= lv), None)
+                position = -1 if level is None else levels.index(level)
+            if position < 0:
+                reason = (
+                    f"spills at every register level "
+                    f"(demand {demand} > {levels[-1]})"
+                )
+                thunks.append(
+                    lambda p=plan, r=reason: self._all_spill_job(
+                        p, r, len(levels)
+                    )
+                )
+                continue
+            candidate = plan.replace(max_registers=levels[position])
+            lane = lanes[i] if lanes is not None else None
+            thunks.append(
+                lambda c=candidate, l=lane, pos=position: (
+                    self._spill_free_finalize(ir, c, l, pos, fusion)
+                )
+            )
+        return thunks
+
+    def _price_group(
+        self, ir: ProgramIR, group: List[KernelPlan], catch: tuple
+    ) -> List:
+        """Finalize-thunks for one structural family, plain-batch mode.
+
+        Mirrors ``try_evaluate``: a validation failure replays as an
+        in-request infeasibility (request + miss + memoized exception),
+        exactly as the scalar ``_evaluate`` raises it.
+        """
+        pricing = _pricing_module()
+        proto = group[0]
+        invalid: Optional[BaseException] = None
+        if self.validate:
+            try:
+                validate_plan(ir, proto)
+            except INFEASIBLE as exc:
+                invalid = exc
+        if invalid is not None:
+            def reject(plan, exc=invalid):
+                raise exc
+
+            return [
+                (
+                    lambda p=p: self._finalize(
+                        ir, p, None, None, catch, rejection_fn=reject
+                    )
+                )
+                for p in group
+            ]
+        structure = pricing.family_structure(ir, proto)
+        fusion = fusion_rejection(ir, proto) if self.prescreen else None
+        need_pricing = fusion is None
+        to_price: Dict[tuple, KernelPlan] = {}
+        keys = []
+        for plan in group:
+            key = self._key(ir, plan)
+            keys.append(key)
+            if need_pricing and not self._memo_has(ir, key):
+                to_price.setdefault(key, plan)
+        lane_by_key = self._price_lanes(structure, to_price)
+        return [
+            (
+                lambda p=p, l=lane_by_key.get(k): self._finalize(
+                    ir, p, l, fusion, catch
+                )
+            )
+            for p, k in zip(group, keys)
+        ]
+
+    def _price_lanes(self, structure, to_price: Dict[tuple, KernelPlan]):
+        """One vectorized pricing pass over the not-yet-memoized lanes."""
+        if not to_price:
+            return {}
+        keys = list(to_price)
+        lanes = structure.price([to_price[k] for k in keys], self.device)
+        return dict(zip(keys, lanes))
+
+    def _memo_has(self, ir: ProgramIR, key: tuple) -> bool:
+        if not self.memoize:
+            return False
+        with self._lock:
+            hit = self._cache.get(key)
+        return hit is not None and hit[0] is ir
+
+    def _prune_job(self, plan: KernelPlan, reason: str) -> None:
+        with self._timed():
+            if self.search_log is not None:
+                self.search_log.prune(
+                    plan,
+                    family=plan_fingerprint(plan, include_registers=False),
+                    reason=reason,
+                )
+            return None
+
+    def _all_spill_job(
+        self, plan: KernelPlan, reason: str, rungs: int
+    ) -> None:
+        with self._timed():
+            self.stats.rungs_skipped += rungs
+            if self.search_log is not None:
+                self.search_log.prune(
+                    plan,
+                    family=plan_fingerprint(plan, include_registers=False),
+                    reason=reason,
+                )
+            return None
+
+    def _spill_free_finalize(
+        self, ir: ProgramIR, candidate: KernelPlan, lane, position: int, fusion
+    ) -> Optional[Tuple[KernelPlan, SimulationResult]]:
+        with self._timed():
+            self.stats.rungs_skipped += position
+            result = self._finalize(ir, candidate, lane, fusion, INFEASIBLE)
+            if result is None:
+                return None
+            return candidate, result
+
+    def _finalize(
+        self,
+        ir: ProgramIR,
+        plan: KernelPlan,
+        lane,
+        fusion,
+        catch: tuple,
+        rejection_fn=None,
+    ) -> Optional[SimulationResult]:
+        """Resolve one pre-priced lane through the normal request path."""
+        with self._timed():
+            if rejection_fn is None:
+                rejection_fn, produce_fn = self._lane_fns(ir, lane, fusion)
+            else:
+                produce_fn = None
+            try:
+                return self._evaluate(
+                    ir,
+                    plan,
+                    rejection_fn=rejection_fn,
+                    produce_fn=produce_fn,
+                )
+            except catch:
+                return None
+
+    def _lane_fns(self, ir: ProgramIR, lane, fusion):
+        """The two ``_evaluate`` hooks for one pre-priced lane.
+
+        ``lane`` may be None when the memo pre-check expected a cache
+        hit (or the family was fusion-rejected before pricing); the
+        produce hook then falls back to a scalar ``simulate`` so a
+        cache race or memoize=False still yields a correct result.
+        """
+
+        def rejection_fn(plan):
+            if not self.prescreen:
+                return None
+            if fusion is not None:
+                _count_rejection(fusion.code)
+                return (fusion.code, fusion.message)
+            if lane is not None and lane.occ_message is not None:
+                self._count_occupancy_screen(lane.occ_code)
+                return (lane.occ_code, lane.occ_message)
+            return None
+
+        def produce_fn(plan):
+            if lane is None:
+                return simulate(ir, plan, self.device)
+            if lane.occ_message is not None:
+                # Prescreen disabled: surface the occupancy failure
+                # exactly as ``simulate``'s plan_occupancy step would.
+                self._count_occupancy_screen(lane.occ_code)
+                raise PlanInfeasible(lane.occ_message, **lane.occ_context)
+            self.stats.vectorized += 1
+            return lane.result
+
+        return rejection_fn, produce_fn
+
+    @staticmethod
+    def _count_occupancy_screen(code: Optional[str]) -> None:
+        """Mirror ``plan_occupancy``'s rejection counters for a lane."""
+        from ..obs import counter, metrics_enabled
+
+        if metrics_enabled():
+            counter("simulate.prescreen_rejections").add()
+            counter(f"lint.reject.{code}").add()
+
+    def _maybe_precompute(
+        self,
+        ir: ProgramIR,
+        plans: List[KernelPlan],
+        workers: Optional[int],
+        levels: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Process-pool pre-computation of the residual scalar work.
+
+        With ``executor='process'``, the pure ``simulate`` calls a
+        scalar batch is about to make are farmed out to a fork-based
+        :class:`ProcessPoolExecutor` first; workers ship back plain
+        ``(family_key, registers, SimulationResult)`` primitives and the
+        parent seeds them into ``_precomputed``, where ``_evaluate``
+        consumes them in place of its own ``simulate`` call.  All
+        accounting, memoization, prescreening and telemetry stay in the
+        parent, so results and statistics are identical to the thread
+        path — simulation results are pure values and pickle exactly.
+        Any pool failure (no fork on this platform, unpicklable IR)
+        degrades silently to plain in-process evaluation.
+        """
+        import multiprocessing
+
+        count = workers if workers is not None else self.workers
+        if (
+            self.executor != "process"
+            or count is None
+            or count <= 1
+            or len(plans) <= 1
+        ):
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            return
+        token = next(_POOL_TOKEN_COUNTER)
+        _POOL_STATE[token] = (ir, self.device, self.validate, levels)
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            count = min(count, len(plans))
+            chunks = [plans[i::count] for i in range(count)]
+            with _span(
+                "eval.precompute", candidates=len(plans), workers=count
+            ):
+                with ProcessPoolExecutor(
+                    max_workers=count, mp_context=context
+                ) as pool:
+                    for shipped in pool.map(
+                        _pool_simulate_chunk,
+                        [(token, chunk) for chunk in chunks],
+                    ):
+                        with self._lock:
+                            for family_key, registers, result in shipped:
+                                self._precomputed[
+                                    (id(ir), family_key, registers)
+                                ] = result
+        except Exception:  # noqa: BLE001 — pool is an optimization only
+            _obs_count("resilience.pool_failures")
+        finally:
+            _POOL_STATE.pop(token, None)
 
     def _run_batch(self, jobs, workers: Optional[int], on_result=None) -> List:
         """Run ``(plan, thunk)`` jobs, input-ordered, under the guard.
@@ -661,6 +1253,11 @@ class PlanEvaluator:
         """
         count = workers if workers is not None else self.workers
         serial = count is None or count <= 1 or len(jobs) <= 1
+        if self.executor == "process":
+            # Heavy work was pre-computed on the pool; the remaining
+            # per-candidate finalization is cheap and lock-heavy, so it
+            # runs serially in the parent.
+            serial = True
         if serial:
             with _span("eval.batch", candidates=len(jobs), workers=1):
                 return [

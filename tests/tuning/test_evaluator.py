@@ -310,7 +310,10 @@ class TestTimingAccounting:
     ):
         delay = 0.05
         self._patch_sleepy_simulate(monkeypatch, delay)
-        evaluator = PlanEvaluator()
+        # Scalar path: vectorized batches price whole families in one
+        # pass on the submitting thread, which is exactly what this
+        # thread-timing test must not exercise.
+        evaluator = PlanEvaluator(vectorize=False)
         plans = [base_plan.replace(block=block) for block in BLOCKS]
         start = time.perf_counter()
         results = evaluator.evaluate_batch(smoother_ir, plans, workers=4)
