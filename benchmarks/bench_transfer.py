@@ -1,0 +1,137 @@
+"""Transfer-tuning search-cost reduction: warm V100 from P100 winners.
+
+For each iterative stencil: deep-tune on the P100 with a checkpoint
+journal (the "source" run), then deep-tune on the V100 twice — cold
+(full hierarchical sweep) and warm-started from the P100 journal via
+``repro.tuning.transfer``.  The warm search must land on the
+byte-identical winner at every fusion degree while pricing at least
+25% fewer candidates.  Results land in ``BENCH_transfer.json``.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.gpu.device import P100, V100
+from repro.resilience.checkpoint import TuningJournal
+from repro.tuning import (
+    deep_tune,
+    journaled_winners,
+    plan_fingerprint,
+    transfer_deep_tune,
+)
+from repro.tuning.transfer import DEFAULT_NEIGHBORHOOD, DEFAULT_SEED_LIMIT
+
+from _cache import fmt, ir_of, print_table
+
+KERNELS = ("7pt-smoother", "27pt-smoother", "helmholtz")
+TOP_K = 2
+#: Acceptance floor on the priced-candidate reduction (ISSUE 7).
+MIN_REDUCTION = 0.25
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_transfer.json")
+
+_results = {}
+
+
+def _stamp(result):
+    """Deterministic summary of a deep-tuning sweep."""
+    best = max(result.entries, key=lambda e: e.tflops)
+    return {
+        "degrees": [e.time_tile for e in result.entries],
+        "winners": [
+            plan_fingerprint(e.measurement.plan) for e in result.entries
+        ],
+        "best_degree": best.time_tile,
+        "best_fingerprint": plan_fingerprint(best.measurement.plan),
+        "best_tflops": best.tflops,
+        "evaluations": result.evaluations,
+        "priced_candidates": result.eval_stats.simulations,
+    }
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_transfer_search_cost(name, tmp_path):
+    ir = ir_of(name)
+    journal_path = os.path.join(str(tmp_path), "p100.jsonl")
+
+    with TuningJournal(journal_path, device=P100.name) as journal:
+        source = deep_tune(ir, device=P100, top_k=TOP_K, journal=journal)
+    seeds = journaled_winners(journal_path, ir)
+
+    start = time.perf_counter()
+    cold = deep_tune(ir, device=V100, top_k=TOP_K)
+    cold_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = transfer_deep_tune(ir, journal_path, device=V100, top_k=TOP_K)
+    warm_wall = time.perf_counter() - start
+
+    cold_sum, warm_sum = _stamp(cold), _stamp(warm)
+
+    # Fidelity: the warm search is a shortcut, not an approximation —
+    # every fusion degree must reproduce the cold winner exactly.
+    assert warm_sum["degrees"] == cold_sum["degrees"]
+    assert warm_sum["winners"] == cold_sum["winners"]
+    assert warm_sum["best_fingerprint"] == cold_sum["best_fingerprint"]
+    assert warm_sum["best_tflops"] == cold_sum["best_tflops"]
+
+    # Acceptance: >= 25% fewer priced candidates (and submissions).
+    reduction = 1.0 - warm_sum["priced_candidates"] / cold_sum[
+        "priced_candidates"
+    ]
+    assert reduction >= MIN_REDUCTION
+    assert warm_sum["evaluations"] < cold_sum["evaluations"]
+
+    # The seeds really came from the foreign device's journal.
+    assert seeds and all(s.source_device == P100.name for s in seeds)
+
+    _results[name] = {
+        "source_device": P100.name,
+        "target_device": V100.name,
+        "seeds": len(seeds),
+        "neighborhood": DEFAULT_NEIGHBORHOOD,
+        "seed_limit": DEFAULT_SEED_LIMIT,
+        "source": {
+            "evaluations": source.evaluations,
+            "priced_candidates": source.eval_stats.simulations,
+        },
+        "cold": {
+            "evaluations": cold_sum["evaluations"],
+            "priced_candidates": cold_sum["priced_candidates"],
+            "wall_s": round(cold_wall, 4),
+        },
+        "warm": {
+            "evaluations": warm_sum["evaluations"],
+            "priced_candidates": warm_sum["priced_candidates"],
+            "wall_s": round(warm_wall, 4),
+        },
+        "priced_reduction": round(reduction, 4),
+        "best_degree": cold_sum["best_degree"],
+        "best_tflops": cold_sum["best_tflops"],
+        "identical_winners": True,
+    }
+
+    print_table(
+        f"transfer tuning P100 -> V100: {name}",
+        ["quantity", "cold V100", "warm from P100"],
+        [
+            ["priced candidates", cold_sum["priced_candidates"],
+             warm_sum["priced_candidates"]],
+            ["candidate submissions", cold_sum["evaluations"],
+             warm_sum["evaluations"]],
+            ["wall-clock (s)", fmt(cold_wall), fmt(warm_wall)],
+            ["best TFLOPS", fmt(cold_sum["best_tflops"]),
+             fmt(warm_sum["best_tflops"])],
+            ["priced reduction", "-", f"{100 * reduction:.1f}%"],
+        ],
+    )
+
+
+def test_write_bench_json():
+    # Runs after the parametrized cases (pytest preserves file order).
+    from repro.resilience import atomic_write_json
+
+    assert set(_results) == set(KERNELS)
+    atomic_write_json(OUT_PATH, _results, indent=2, sort_keys=True)

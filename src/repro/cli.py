@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Optional
 
 from .codegen.generator import generate_baseline, lower
-from .gpu.device import DEVICES, DeviceSpec, P100
+from .gpu.device import DEVICES, DeviceSpec, P100, device_names, get_device
 from .ir.analysis import characteristics
 from .obs import (
     configure_metrics,
@@ -70,13 +70,8 @@ def _load(source: str):
 
 
 def _device(name: str) -> DeviceSpec:
-    try:
-        return DEVICES[name]
-    except KeyError:
-        raise SystemExit(
-            f"error: unknown device {name!r}; available: "
-            f"{', '.join(DEVICES)}"
-        ) from None
+    # get_device raises UsageError (exit code 2) for unknown names.
+    return get_device(name)
 
 
 def _obs_begin(args) -> None:
@@ -531,6 +526,39 @@ def cmd_lint(args) -> int:
     return 1 if errors else 0
 
 
+def cmd_devices(args) -> int:
+    """List the registered device profiles (``repro devices``)."""
+    import json as _json
+
+    specs = [DEVICES[name] for name in device_names()]
+    if getattr(args, "json", False):
+        from dataclasses import asdict
+
+        payload = {}
+        for spec in specs:
+            row = asdict(spec)
+            row["ridge_dram"] = spec.ridge_dram
+            row["ridge_tex"] = spec.ridge_tex
+            row["ridge_shm"] = spec.ridge_shm
+            payload[spec.name] = row
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{'name':8s} {'vendor':7s} {'SMs':>4s} {'warp':>5s} "
+        f"{'peak GF':>8s} {'DRAM GB/s':>10s} {'a/b_dram':>9s} "
+        f"{'shm/blk KiB':>12s} {'thr/blk':>8s}"
+    )
+    for spec in specs:
+        print(
+            f"{spec.name:8s} {spec.vendor:7s} {spec.sms:4d} "
+            f"{spec.warp_size:5d} {spec.peak_gflops:8.0f} "
+            f"{spec.dram_bw_gbs:10.1f} {spec.ridge_dram:9.2f} "
+            f"{spec.shared_mem_per_block / 1024:12.0f} "
+            f"{spec.max_threads_per_block:8d}"
+        )
+    return 0
+
+
 def cmd_bench(args) -> int:
     import json as _json
 
@@ -594,7 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p, iterations_default: Optional[int] = None):
         p.add_argument("spec", help="benchmark name or DSL file path")
         p.add_argument(
-            "--device", default="P100", help="device model (P100, V100)"
+            "--device", default="P100",
+            help=f"device profile ({', '.join(device_names())}; "
+                 f"see 'repro devices')",
         )
         return p
 
@@ -711,6 +741,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suite", help="list the built-in benchmarks")
     p.set_defaults(func=cmd_suite)
 
+    p = sub.add_parser("devices", help="list the registered device profiles")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full profiles (all model knobs) as JSON",
+    )
+    p.set_defaults(func=cmd_devices)
+
     p = add_common(sub.add_parser(
         "deep-tune", help="deep-tune an iterative stencil"
     ))
@@ -767,7 +804,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the search-performance regression benchmark"
     )
     p.add_argument(
-        "--device", default="P100", help="device model (P100, V100)"
+        "--device", default="P100",
+        help=f"device profile ({', '.join(device_names())}; "
+             f"see 'repro devices')",
     )
     p.add_argument(
         "--benchmarks", default=None, metavar="A,B,...",

@@ -1,7 +1,19 @@
 """Simulated GPU substrate: device model, occupancy, counters, timing."""
 
 from .counters import KernelCounters, SimulationResult, TimingBreakdown
-from .device import DEVICES, DeviceSpec, P100, V100
+from .device import (
+    A100,
+    DEVICES,
+    DeviceProfile,
+    DeviceSpec,
+    MI100,
+    P100,
+    TOY,
+    V100,
+    device_names,
+    get_device,
+    register_device,
+)
 from .occupancy import (
     OccupancyResult,
     max_block_for_occupancy,
@@ -12,19 +24,26 @@ from .registers import compiled_registers, expression_registers, register_demand
 from .simulator import PlanInfeasible, simulate
 
 __all__ = [
+    "A100",
     "DEVICES",
+    "DeviceProfile",
     "DeviceSpec",
     "KernelCounters",
+    "MI100",
     "OccupancyResult",
     "P100",
     "PlanInfeasible",
     "SimulationResult",
+    "TOY",
     "TimingBreakdown",
     "V100",
     "compiled_registers",
+    "device_names",
     "expression_registers",
+    "get_device",
     "max_block_for_occupancy",
     "occupancy",
+    "register_device",
     "register_demand",
     "registers_per_block",
     "simulate",

@@ -23,10 +23,13 @@ class OccupancyResult:
     active_warps: int
     occupancy: float  # active threads / max threads per SM, in (0, 1]
     limiter: str  # 'threads' | 'blocks' | 'registers' | 'shmem' | 'none'
+    #: warp/wavefront width of the device this was computed for (64 on
+    #: AMD wavefront devices)
+    warp_size: int = 32
 
     @property
     def active_threads(self) -> int:
-        return self.active_warps * 32
+        return self.active_warps * self.warp_size
 
 
 def registers_per_block(
@@ -106,6 +109,7 @@ def occupancy(
         active_warps=active_warps,
         occupancy=occ,
         limiter=limiter,
+        warp_size=device.warp_size,
     )
 
 

@@ -77,8 +77,6 @@ from .device import DeviceSpec, P100
 from .occupancy import OccupancyResult, occupancy as _scalar_occupancy
 from .registers import BASE_REGISTERS, expression_registers
 from .simulator import (
-    INTER_BLOCK_L2_FACTOR,
-    SPILL_ACCESS_RATE,
     _consumed_name,
     externally_visible,
     intermediate_arrays,
@@ -956,6 +954,7 @@ class FamilyStructure:
                 active_warps=int(occ["warps"][i]),
                 occupancy=float(occ["occ_frac"][i]),
                 limiter=limiter_names[int(occ["limiter"][i])],
+                warp_size=device.warp_size,
             )
             kc = KernelCounters(
                 flops=float(counters["flops"][i]),
@@ -1085,7 +1084,7 @@ class FamilyStructure:
         live = self._live_bytes(base, winners)
         working_set = active_blocks * np.maximum(live, 1.0)
         p_intra = np.minimum(1.0, device.l2_cache_bytes / working_set)
-        p_inter = INTER_BLOCK_L2_FACTOR * p_intra
+        p_inter = device.inter_block_l2_factor * p_intra
 
         flops_t: List[np.ndarray] = []
         tex_t: List[np.ndarray] = []
@@ -1113,7 +1112,9 @@ class FamilyStructure:
                 elif kind == "buffered":
                     footprint = self._footprint(base, sidx, array)
                     loads = footprint * blocks
-                    coal = self._fill_coalescing(base, item)
+                    coal = self._fill_coalescing(
+                        base, item, device.dram_transaction_bytes
+                    )
                     tex_t.append((loads * esize).astype(_F8) * coal)
                     fill = (loads * esize).astype(_F8)
                     dread_t.append(
@@ -1166,7 +1167,7 @@ class FamilyStructure:
             total_points = total_points + self._pts(base, sidx) * blocks
         spill = (
             spilled.astype(_F8)
-            * SPILL_ACCESS_RATE
+            * device.spill_access_rate
             * 2
             * 8
             * total_points.astype(_F8)
@@ -1189,13 +1190,17 @@ class FamilyStructure:
             "p_intra": p_intra,
         }
 
-    def _fill_coalescing(self, base: dict, item: dict) -> np.ndarray:
+    def _fill_coalescing(
+        self, base: dict, item: dict, sector: int = 32
+    ) -> np.ndarray:
         x_axis = self.ndim - 1
         row_elems = base["tile"][x_axis]
         lo, hi = item["halo_x"]
         row_bytes = (row_elems + (lo + hi)) * 8
-        sectors = np.ceil(row_bytes.astype(_F8) / 32).astype(_I8)
-        denom = np.maximum(1, np.ceil((row_elems * 8).astype(_F8) / 32).astype(_I8))
+        sectors = np.ceil(row_bytes.astype(_F8) / sector).astype(_I8)
+        denom = np.maximum(
+            1, np.ceil((row_elems * 8).astype(_F8) / sector).astype(_I8)
+        )
         return (sectors + item["fill_extra"]) / denom
 
     def _buffered_shm(
@@ -1283,10 +1288,12 @@ class FamilyStructure:
             counters["shm"] / 8.0 + counters["tex"] / 8.0
         )
         warp_insts = thread_ops / device.warp_size
-        covering = np.maximum(1.0, occ["warps"] * base["ilp"] / 4.0)
+        covering = np.maximum(
+            1.0, occ["warps"] * base["ilp"] / device.latency_cover_warps
+        )
         stall = device.arith_latency_cycles / covering
         cycles = warp_insts * np.maximum(1.0, stall)
-        rate = device.sms * 2.0 * device.clock_ghz * 1e9
+        rate = device.sms * device.warp_schedulers * device.clock_ghz * 1e9
         latency_s = cycles / (rate * np.maximum(concurrency, 1e-9))
 
         sync_s = np.where(

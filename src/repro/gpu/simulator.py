@@ -1,4 +1,8 @@
-"""Analytical P100 kernel simulator: counters + timing for a kernel plan.
+"""Analytical kernel simulator: counters + timing for a kernel plan.
+
+Device-parametric: every resource limit, bandwidth and model knob comes
+from the :class:`~repro.gpu.device.DeviceSpec` profile passed in (the
+paper's P100 is the default; see ``docs/devices.md``).
 
 The simulator plays the role of the paper's (GPU + nvprof) pair.  Every
 quantity ARTEMIS's profiling and tuning logic consumes — FLOPs, DRAM
@@ -69,7 +73,10 @@ class PlanInfeasible(InfeasiblePlanError):
 
 #: Spilled registers are stored and reloaded about once per computed
 #: point; the traffic transits the L1/tex path (thrashing it) and is
-#: backed by DRAM-resident local memory.
+#: backed by DRAM-resident local memory.  These module constants are the
+#: P100 defaults, kept for backward compatibility — the model reads the
+#: per-device values (``DeviceSpec.spill_access_rate``,
+#: ``DeviceSpec.inter_block_l2_factor``).
 SPILL_ACCESS_RATE = 1.0
 
 #: L2 capture of cross-block halo reuse relative to same-block reuse.
@@ -240,7 +247,7 @@ def _count(
     active_blocks = max(1, occ.blocks_per_sm * device.sms)
     working_set = active_blocks * max(pre.live_bytes_per_block, 1)
     p_intra = min(1.0, device.l2_cache_bytes / working_set)
-    p_inter = INTER_BLOCK_L2_FACTOR * p_intra
+    p_inter = device.inter_block_l2_factor * p_intra
 
     intermediates = pre.intermediates
     # Inter-stage buffer specs, keyed by (consumer stage index, array).
@@ -290,7 +297,8 @@ def _count(
                 # Buffered: footprint loaded from global exactly once.
                 loads = footprint * blocks
                 tex_bytes += loads * arr_esize * _fill_coalescing(
-                    ir, plan, geometry, stage, array
+                    ir, plan, geometry, stage, array,
+                    device.dram_transaction_bytes,
                 )
                 dram_read += _dram_read(
                     loads * arr_esize,
@@ -352,7 +360,7 @@ def _count(
     total_points = sum(
         points_computed(ir, plan, s, geometry) * blocks for s in stages
     )
-    spill_bytes = spilled * SPILL_ACCESS_RATE * 2 * esize * total_points
+    spill_bytes = spilled * device.spill_access_rate * 2 * esize * total_points
     tex_bytes += spill_bytes  # local-memory traffic transits L1/tex
 
     syncs = _sync_count(plan, geometry, stages, shmem)
@@ -569,22 +577,23 @@ _gmem_loads_per_point = gmem_loads_per_point
 _distinct_read_offsets = distinct_read_offsets
 
 
-def _fill_coalescing(ir, plan, geometry, stage, array) -> float:
+def _fill_coalescing(ir, plan, geometry, stage, array, sector: int = 32) -> float:
     """Transaction inflation for a buffered tile fill.
 
-    A warp filling a tile row of ``w`` bytes touches ``ceil(w/32)``
-    sectors, plus one extra when the row starts at a halo offset — the
-    penalty the *mixed* perspective removes (Section III-B3).
+    A warp filling a tile row of ``w`` bytes touches ``ceil(w/sector)``
+    sectors (``sector`` = the device's DRAM transaction size), plus one
+    extra when the row starts at a halo offset — the penalty the *mixed*
+    perspective removes (Section III-B3).
     """
     x_axis = ir.ndim - 1
     row_elems = geometry.tile[x_axis]
     halo = stage.halo[x_axis]
     row_bytes = (row_elems + halo[0] + halo[1]) * 8
-    sectors = math.ceil(row_bytes / 32)
+    sectors = math.ceil(row_bytes / sector)
     extra = 0
     if plan.perspective == PERSPECTIVE_OUTPUT and (halo[0] or halo[1]):
         extra = 2  # edge threads issue separate, uncoalesced halo loads
-    return (sectors + extra) / max(1, math.ceil(row_elems * 8 / 32))
+    return (sectors + extra) / max(1, math.ceil(row_elems * 8 / sector))
 
 
 def _gmem_coalescing(ir, plan, instance, array) -> float:
@@ -702,9 +711,8 @@ def _latency_time(
     ilp = 1.0 + 0.4 * math.log2(max(1, plan.total_unroll()))
     if plan.prefetch:
         ilp += 0.3
-    covering = max(1.0, occ.active_warps * ilp / 4.0)
+    covering = max(1.0, occ.active_warps * ilp / device.latency_cover_warps)
     stall = device.arith_latency_cycles / covering
     cycles = warp_insts * max(1.0, stall)
-    per_sm_schedulers = 2.0  # P100: 2 warp schedulers per SM half
-    rate = device.sms * per_sm_schedulers * device.clock_ghz * 1e9
+    rate = device.sms * device.warp_schedulers * device.clock_ghz * 1e9
     return cycles / (rate * max(concurrency, 1e-9))

@@ -261,8 +261,17 @@ class SearchLog:
         reason: Optional[str] = None,
         result=None,
         degraded: bool = False,
+        device: Optional[str] = None,
     ) -> None:
-        """One evaluation-engine request (the core telemetry record)."""
+        """One evaluation-engine request (the core telemetry record).
+
+        ``device`` names the profile the candidate was priced on.  The
+        engine always supplies it; when absent, the log's own device
+        (the header's) is stamped so every candidate record is
+        self-describing even after logs from several devices are merged.
+        """
+        if device is None and self.device is not None:
+            device = self.device.name
         fields: Dict[str, Any] = {
             "fingerprint": fingerprint,
             "family": family,
@@ -270,6 +279,8 @@ class SearchLog:
             "config": _config_summary(plan),
             "disposition": disposition,
         }
+        if device is not None:
+            fields["device"] = device
         if reason:
             fields["reason"] = reason
         if degraded:

@@ -23,6 +23,7 @@ See ``docs/robustness.md`` for the operator-facing guide.
 
 from .errors import (
     CheckpointCorruptError,
+    CheckpointDeviceMismatch,
     CheckpointError,
     EvaluationError,
     EvaluationTimeout,
@@ -45,6 +46,7 @@ from .checkpoint import (
 
 __all__ = [
     "CheckpointCorruptError",
+    "CheckpointDeviceMismatch",
     "CheckpointError",
     "EvaluationError",
     "EvaluationTimeout",

@@ -36,7 +36,11 @@ import threading
 from hashlib import sha256
 from typing import Any, Dict, Optional
 
-from .errors import CheckpointCorruptError, CheckpointError
+from .errors import (
+    CheckpointCorruptError,
+    CheckpointDeviceMismatch,
+    CheckpointError,
+)
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -123,6 +127,12 @@ class TuningJournal:
     def __init__(self, path: str, device: Optional[str] = None):
         self.path = os.fspath(path)
         self.device = device
+        #: device name the journal's header declares (== ``device`` for
+        #: a fresh journal; the on-disk value when resuming).  Opening
+        #: with ``device=None`` skips the mismatch check — the
+        #: sanctioned way for transfer tuning to *read* a foreign
+        #: device's journal without replaying it.
+        self.recorded_device: Optional[str] = device
         self._lock = threading.Lock()
         self._records: Dict[str, Dict[str, Any]] = {}
         self._failures: Dict[str, Dict[str, Any]] = {}
@@ -191,15 +201,20 @@ class TuningJournal:
                     path=self.path,
                 )
             recorded = record.get("device")
+            self.recorded_device = recorded
             if (
                 self.device is not None
                 and recorded is not None
                 and recorded != self.device
             ):
-                raise CheckpointError(
+                raise CheckpointDeviceMismatch(
                     f"checkpoint journal {self.path} was recorded for "
-                    f"device {recorded!r}, not {self.device!r}",
+                    f"device {recorded!r}, not {self.device!r}; resume "
+                    f"on {recorded!r}, start a fresh checkpoint, or "
+                    f"warm-start via transfer tuning",
                     path=self.path,
+                    recorded=recorded,
+                    requested=self.device,
                 )
             return
         key = record.get("key")
@@ -265,6 +280,19 @@ class TuningJournal:
         self._append(record)
 
     # -- lookup -----------------------------------------------------------------
+
+    def records(self, kind: Optional[str] = None) -> list:
+        """Snapshot of the non-failure records (optionally one ``kind``).
+
+        A read-only view for offline consumers: transfer tuning mines a
+        foreign journal's ``candidate``/``degree`` records for winners
+        without replaying them into a live search.
+        """
+        with self._lock:
+            items = list(self._records.values())
+        if kind is not None:
+            items = [item for item in items if item.get("kind") == kind]
+        return items
 
     def lookup(self, key: str) -> Optional[Dict[str, Any]]:
         """The journaled record for ``key``, or None.

@@ -28,6 +28,7 @@ from typing import Any, Dict
 
 __all__ = [
     "CheckpointCorruptError",
+    "CheckpointDeviceMismatch",
     "CheckpointError",
     "EvaluationError",
     "EvaluationTimeout",
@@ -124,6 +125,20 @@ class CheckpointError(ReproError):
     """A checkpoint journal could not be used (wrong device, version)."""
 
     exit_code = 4
+
+
+class CheckpointDeviceMismatch(CheckpointError, UsageError):
+    """A checkpoint journal was recorded on a different device.
+
+    Resuming a P100 journal on a V100 would replay P100 timings into a
+    V100 search, silently poisoning the result — the journal refuses.
+    This is caller-correctable misuse (pick the matching ``--device``,
+    start a fresh checkpoint, or warm-start via transfer tuning, which
+    reads foreign journals deliberately), so it exits with the usage
+    code ``2`` while remaining catchable as :class:`CheckpointError`.
+    """
+
+    exit_code = 2
 
 
 class CheckpointCorruptError(CheckpointError):

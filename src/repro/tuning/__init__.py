@@ -37,6 +37,13 @@ from .space import (
     exhaustive_space_size,
     seed_variants,
 )
+from .transfer import (
+    TransferSeed,
+    WarmStartTuner,
+    journaled_winners,
+    transfer_deep_tune,
+    transfer_tune,
+)
 
 __all__ = [
     "DeepTuningEntry",
@@ -51,7 +58,9 @@ __all__ = [
     "Measurement",
     "PlanEvaluator",
     "SearchSpace",
+    "TransferSeed",
     "TuningResult",
+    "WarmStartTuner",
     "dedupe_candidates",
     "deep_tune",
     "evaluation_caches_disabled",
@@ -61,10 +70,13 @@ __all__ = [
     "fuse_instances",
     "fusion_schedule",
     "generate_fission_candidates",
+    "journaled_winners",
     "maxfuse",
     "recompute_fission",
     "schedule_to_program_plan",
     "seed_variants",
+    "transfer_deep_tune",
+    "transfer_tune",
     "trivial_fission",
     "tune_kernel",
 ]

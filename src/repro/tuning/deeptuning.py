@@ -15,7 +15,7 @@ follows from the dynamic program::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..codegen.plan import KernelPlan, ProgramPlan
 from ..codegen.resources import auto_assign, seed_plan_from_pragma
@@ -101,6 +101,7 @@ def deep_tune(
     evaluator: Optional[PlanEvaluator] = None,
     workers: Optional[int] = None,
     journal: Optional[TuningJournal] = None,
+    make_tuner: Optional[Callable[..., HierarchicalTuner]] = None,
 ) -> DeepTuningResult:
     """Tune fusion degrees 1, 2, ... while profiling says fusion helps.
 
@@ -115,6 +116,12 @@ def deep_tune(
     at most the candidate being evaluated.  The stopping conditions are
     deterministic functions of the entries, so a resumed sweep halts at
     the same degree as an uninterrupted one.
+
+    ``make_tuner`` swaps the inner per-degree tuner class: it is called
+    with the same keyword arguments ``HierarchicalTuner`` would receive
+    (``use_register_opts``, ``top_k``, ``evaluator``, ``workers``,
+    ``journal``).  Transfer tuning uses this to warm-start every degree
+    from another device's journal (``repro.tuning.transfer``).
     """
     if not ir.is_iterative:
         raise UsageError("deep tuning applies to iterative stencils")
@@ -158,7 +165,7 @@ def deep_tune(
                             time_tile=degree
                         )
                         base = auto_assign(ir, base, engine.device).plan
-                    tuner = HierarchicalTuner(
+                    tuner = (make_tuner or HierarchicalTuner)(
                         ir,
                         use_register_opts=use_register_opts,
                         top_k=top_k,

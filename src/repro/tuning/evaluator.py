@@ -588,7 +588,11 @@ class PlanEvaluator:
     # -- single evaluation -----------------------------------------------------
 
     def _key(self, ir: ProgramIR, plan: KernelPlan) -> tuple:
-        return (id(ir), plan_family_key(plan), plan.max_registers)
+        # The device profile is part of the content address: the same
+        # plan priced on two profiles must never share a cache entry
+        # (profiles are frozen, hashable value objects — two specs that
+        # merely share a name still produce distinct keys).
+        return (id(ir), self.device, plan_family_key(plan), plan.max_registers)
 
     def evaluate(self, ir: ProgramIR, plan: KernelPlan) -> SimulationResult:
         """Validate + simulate one plan, memoized.
@@ -620,6 +624,7 @@ class PlanEvaluator:
             reason=reason,
             result=result,
             degraded=degraded,
+            device=self.device.name,
         )
 
     def _evaluate(

@@ -377,15 +377,7 @@ class HierarchicalTuner:
                 allow_unroll=self.use_unrolling,
                 device=self.device,
             )
-            retimable = self._retimable(base)
-            candidates: List[KernelPlan] = []
-            for variant in seed_variants(base, space):
-                candidates.append(variant)
-                if retimable and variant.total_unroll() == 1:
-                    # Register-level optimizations change which block
-                    # sizes win; explore the retimed shape of each block
-                    # up front.
-                    candidates.append(variant.replace(retime=True))
+            candidates = self._stage1_candidates(base, space)
             if self.lint_prune:
                 candidates = prune_overtiled(
                     self.ir, candidates, search_log=self._slog
@@ -402,6 +394,29 @@ class HierarchicalTuner:
                     candidates=len(candidates), feasible=len(results)
                 )
             return results[: self.top_k]
+
+    def _stage1_candidates(
+        self, base: KernelPlan, space: SearchSpace
+    ) -> List[KernelPlan]:
+        """Stage-1 candidate list: the block x unroll sweep over ``base``.
+
+        The extension point for warm-started searches —
+        :class:`repro.tuning.transfer.WarmStartTuner` overrides this to
+        narrow the sweep to the neighborhood of another device's
+        journaled winners.  Retimed twins ride along with their parent
+        variant, so overrides that filter the returned list keep the
+        pairing intact.
+        """
+        retimable = self._retimable(base)
+        candidates: List[KernelPlan] = []
+        for variant in seed_variants(base, space):
+            candidates.append(variant)
+            if retimable and variant.total_unroll() == 1:
+                # Register-level optimizations change which block
+                # sizes win; explore the retimed shape of each block
+                # up front.
+                candidates.append(variant.replace(retime=True))
+        return candidates
 
     def _retimable(self, plan: KernelPlan) -> bool:
         if not (self.use_register_opts and plan.uses_streaming):

@@ -1,9 +1,27 @@
-"""Shared programs for GPU-substrate tests."""
+"""Shared programs and device fixtures for GPU-substrate tests."""
+
+import os
 
 import pytest
 
 from repro.dsl import parse
+from repro.gpu.device import device_names, get_device
 from repro.ir import build_ir
+
+
+@pytest.fixture(params=device_names())
+def device(request):
+    """Every registered device profile, one test instance each.
+
+    The conformance harness runs its invariants against each profile —
+    registering a new device automatically subjects it to the full
+    suite.  Setting ``REPRO_CONFORMANCE_DEVICE`` restricts the sweep to
+    one profile (the CI device matrix runs one job per device).
+    """
+    only = os.environ.get("REPRO_CONFORMANCE_DEVICE")
+    if only and request.param.upper() != only.upper():
+        pytest.skip(f"conformance run restricted to {only}")
+    return get_device(request.param)
 
 JACOBI_TMPL = """
 parameter L={n}, M={n}, N={n};

@@ -1,0 +1,41 @@
+"""Regenerate the per-device golden-winner snapshot.
+
+Run from the repository root after a *deliberate* model change::
+
+    PYTHONPATH=src python tests/gpu/regen_golden_winners.py
+
+The diff of ``golden_winners.json`` then documents exactly which
+devices' winners moved and by how much.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+
+from repro.gpu.device import device_names, get_device  # noqa: E402
+
+from tests.gpu.test_device_conformance import (  # noqa: E402
+    GOLDEN_PATH,
+    TestGoldenWinners,
+)
+
+
+def main() -> None:
+    golden = {
+        name: TestGoldenWinners.winner_entry(get_device(name))
+        for name in device_names()
+    }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in golden.items():
+        print(f"{name}: {entry['fingerprint']} "
+              f"block={entry['block']} tflops={entry['tflops']:.4f}")
+
+
+if __name__ == "__main__":
+    main()
