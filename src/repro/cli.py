@@ -123,6 +123,32 @@ def _print_metrics() -> None:
             print(f"  {name:36s} {rendered}")
 
 
+def _env_float(name: str, default: Optional[float] = None) -> Optional[float]:
+    """Parse a float environment variable; misuse exits 2, not a traceback."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise UsageError(
+            f"environment variable {name}={raw!r} is not a number"
+        ) from None
+
+
+def _env_int(name: str, default: Optional[int] = None) -> Optional[int]:
+    """Parse an integer environment variable; misuse exits 2."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise UsageError(
+            f"environment variable {name}={raw!r} is not an integer"
+        ) from None
+
+
 def _fault_injector_from_env():
     """Chaos-mode fault injector, armed by environment variables.
 
@@ -130,17 +156,18 @@ def _fault_injector_from_env():
     ``REPRO_CHAOS_SEED``, ``REPRO_CHAOS_KIND`` and
     ``REPRO_CHAOS_TRANSIENT`` refine it.  CI's chaos job drives seeded
     fault injection through real CLI runs this way (``docs/robustness.md``).
+    Malformed values raise :class:`UsageError` naming the variable.
     """
-    rate = os.environ.get("REPRO_CHAOS_RATE")
+    rate = _env_float("REPRO_CHAOS_RATE")
     if not rate:
         return None
     from .resilience import FaultInjector
 
     return FaultInjector(
-        rate=float(rate),
-        seed=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+        rate=rate,
+        seed=_env_int("REPRO_CHAOS_SEED", 0),
         kind=os.environ.get("REPRO_CHAOS_KIND", "error"),
-        transient_failures=int(os.environ.get("REPRO_CHAOS_TRANSIENT", "0")),
+        transient_failures=_env_int("REPRO_CHAOS_TRANSIENT", 0),
     )
 
 
@@ -192,6 +219,93 @@ def _open_journal(args, device: DeviceSpec) -> Optional[TuningJournal]:
             file=sys.stderr,
         )
     return journal
+
+
+def _open_coordinator(args, device: DeviceSpec, engine, journal):
+    """Build the distributed coordinator when --distributed N asks for it.
+
+    The merged journal is the user's --checkpoint journal when given
+    (distributed resume composes with checkpointing for free), else a
+    fresh ``merged.jsonl`` inside the run directory.  ``REPRO_DISTRIB_*``
+    env knobs arm the chaos harness for CI: a deterministic straggler
+    (``STRAGGLE_S``/``STRAGGLE_WORKER``), a mid-shard SIGKILL
+    (``KILL_WORKER``/``KILL_AFTER``) and a lease-TTL override
+    (``LEASE_TTL``) — all parsed with exit-2 error hygiene.
+    """
+    workers = getattr(args, "distributed", None)
+    if not workers:
+        return None
+    from .distrib import DistributedCoordinator, KillPolicy
+
+    root = getattr(args, "distrib_dir", None)
+    if root is None:
+        import tempfile
+
+        root = tempfile.mkdtemp(prefix="repro-distrib-")
+    lease_ttl = _env_float(
+        "REPRO_DISTRIB_LEASE_TTL", getattr(args, "lease_ttl", None) or 2.0
+    )
+    kill_worker = _env_int("REPRO_DISTRIB_KILL_WORKER")
+    kill = (
+        KillPolicy(
+            victim=kill_worker,
+            after_records=_env_int("REPRO_DISTRIB_KILL_AFTER", 1),
+        )
+        if kill_worker is not None
+        else None
+    )
+    straggle_s = _env_float("REPRO_DISTRIB_STRAGGLE_S", 0.0)
+    straggle_worker = _env_int("REPRO_DISTRIB_STRAGGLE_WORKER")
+    chaos = None
+    rate = _env_float("REPRO_CHAOS_RATE")
+    if rate:
+        chaos = {
+            "rate": rate,
+            "seed": _env_int("REPRO_CHAOS_SEED", 0),
+            "kind": os.environ.get("REPRO_CHAOS_KIND", "error"),
+            "transient": _env_int("REPRO_CHAOS_TRANSIENT", 0),
+        }
+    coordinator = DistributedCoordinator(
+        root,
+        workers=workers,
+        device=device,
+        engine=engine,
+        journal=journal,
+        lease_ttl=lease_ttl,
+        vectorize=_vectorize_choice(args),
+        chaos=chaos,
+        straggle_s=straggle_s,
+        straggle_worker=straggle_worker,
+        partition_claims=kill is not None or straggle_worker is not None,
+        kill=kill,
+    )
+    print(
+        f"distrib: {workers} worker(s), journal directory {root}",
+        file=sys.stderr,
+    )
+    return coordinator
+
+
+def _finish_coordinator(coordinator) -> None:
+    """Tear the pool down and print the one-line distributed summary."""
+    if coordinator is None:
+        return
+    coordinator.close()
+    stats = coordinator.stats
+    print(
+        f"distrib: {stats.records_merged} record(s) merged from "
+        f"{stats.shards_published} shard(s) "
+        f"({stats.shards_claimed} claimed, {stats.shards_stolen} stolen, "
+        f"{stats.lease_expiries} lease expiries, "
+        f"{stats.dedup_hits} dedup hit(s), {stats.takeovers} takeover(s)"
+        + (
+            f", {stats.workers_killed} worker(s) killed"
+            if stats.workers_killed
+            else ""
+        )
+        + ")",
+        file=sys.stderr,
+    )
 
 
 def _warn_failures(stats, args) -> None:
@@ -286,6 +400,9 @@ def cmd_optimize(args) -> int:
     device = _device(args.device)
     engine = _resilience_engine(args, device)
     journal = _open_journal(args, device)
+    coordinator = _open_coordinator(args, device, engine, journal)
+    if coordinator is not None:
+        journal = coordinator.journal
     log = _open_search_log(args, engine, device)
     try:
         outcome = optimize(
@@ -295,10 +412,14 @@ def cmd_optimize(args) -> int:
             top_k=args.top_k,
             evaluator=engine,
             journal=journal,
+            make_tuner=coordinator.make_tuner if coordinator else None,
         )
         if log is not None and outcome.eval_stats is not None:
             log.summary(outcome.eval_stats)
     finally:
+        # The coordinator's final drain appends to the merged journal,
+        # so it must shut down before the journal closes.
+        _finish_coordinator(coordinator)
         if journal is not None:
             journal.close()
         _close_search_log(args, log)
@@ -310,11 +431,10 @@ def cmd_optimize(args) -> int:
     if args.eval_stats and outcome.eval_stats is not None:
         _print_eval_stats(outcome.eval_stats)
     if args.json:
-        atomic_write_json(
-            args.json,
-            _optimize_json_payload(args, device, outcome, log),
-            indent=2,
-        )
+        payload = _optimize_json_payload(args, device, outcome, log)
+        if coordinator is not None:
+            payload["distrib"] = coordinator.stats.as_dict()
+        atomic_write_json(args.json, payload, indent=2)
         print(f"json: outcome written to {args.json}", file=sys.stderr)
     if args.search_log:
         print(
@@ -415,9 +535,18 @@ def cmd_deep_tune(args) -> int:
     device = _device(args.device)
     engine = _resilience_engine(args, device)
     journal = _open_journal(args, device)
+    coordinator = _open_coordinator(args, device, engine, journal)
+    if coordinator is not None:
+        journal = coordinator.journal
     try:
-        result = deep_tune(ir, evaluator=engine, journal=journal)
+        result = deep_tune(
+            ir,
+            evaluator=engine,
+            journal=journal,
+            make_tuner=coordinator.make_tuner if coordinator else None,
+        )
     finally:
+        _finish_coordinator(coordinator)
         if journal is not None:
             journal.close()
     if result.eval_stats is not None:
@@ -440,6 +569,23 @@ def cmd_deep_tune(args) -> int:
         f"\nschedule for T={args.iterations}: {schedule.describe()} "
         f"({schedule.total_time_s * 1e3:.2f} ms)"
     )
+    return 0
+
+
+def cmd_shard_status(args) -> int:
+    """Inspect a distributed-run directory (``repro shard-status DIR``)."""
+    import json as _json
+
+    from .distrib import format_status, scan_status
+
+    try:
+        info = scan_status(args.dir)
+    except FileNotFoundError as exc:
+        raise UsageError(str(exc)) from None
+    if args.json:
+        print(_json.dumps(info, indent=2, sort_keys=True))
+    else:
+        print(format_status(info))
     return 0
 
 
@@ -686,6 +832,26 @@ def build_parser() -> argparse.ArgumentParser:
         )
         return p
 
+    def add_distrib_flags(p):
+        p.add_argument(
+            "--distributed", type=int, default=None, metavar="N",
+            help="evaluate candidate batches on N worker processes with "
+                 "journal leases and work-stealing (results bit-identical "
+                 "to a single-process run; see docs/robustness.md)",
+        )
+        p.add_argument(
+            "--distrib-dir", metavar="DIR", default=None,
+            help="shared journal directory for the distributed run "
+                 "(default: a fresh temp directory; inspect with "
+                 "'repro shard-status DIR')",
+        )
+        p.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="SECONDS",
+            help="shard lease time-to-live: a lease not heartbeaten for "
+                 "this long is stolen by another worker (default 2.0)",
+        )
+        return p
+
     def add_obs_flags(p):
         p.add_argument(
             "--trace", metavar="PATH", default=None,
@@ -724,6 +890,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_eval_flags(p)
     add_resilience_flags(p)
+    add_distrib_flags(p)
     add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
@@ -754,8 +921,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-T", "--iterations", type=int, default=12)
     add_eval_flags(p)
     add_resilience_flags(p)
+    add_distrib_flags(p)
     add_obs_flags(p)
     p.set_defaults(func=cmd_deep_tune)
+
+    p = sub.add_parser(
+        "shard-status",
+        help="inspect a distributed-run journal directory",
+    )
+    p.add_argument("dir", help="the --distrib-dir of a distributed run")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full shard/lease/journal snapshot as JSON",
+    )
+    p.set_defaults(func=cmd_shard_status)
 
     p = sub.add_parser(
         "report", help="render a search log as a standalone HTML report"

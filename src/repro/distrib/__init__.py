@@ -1,0 +1,43 @@
+"""Sharded multi-worker plan search with crash-safe merge.
+
+The "many jobs × many workers with no lost work" milestone: the plan
+space of each tuning batch is partitioned into fingerprint-range
+shards, published into a shared journal directory, and evaluated by a
+pool of worker processes that claim shards with ``O_EXCL`` lease
+files, renew them via heartbeats, and steal expired leases from
+stragglers or corpses.  Per-worker JSONL journals are merged
+first-record-wins by content-addressed key, so a shard evaluated twice
+after a steal is billed exactly once — and the calling tuner replays
+the merged journal through the same machinery that makes checkpoint
+resume bit-identical, so the distributed winner is byte-identical to a
+single-process run.
+
+See ``docs/robustness.md`` ("Distributed search") for the operator
+guide: lease lifecycle, steal conditions, merge invariants and chaos
+knobs.
+"""
+
+from .coordinator import DistribStats, DistributedCoordinator, KillPolicy
+from .files import DistribPaths, JournalTailReader
+from .shards import Shard, partition, shard_index
+from .status import format_status, scan_status
+from .tuner import DistributedTuner
+from .worker import WorkerConfig, stats_from_dict, stats_to_dict, worker_main
+
+__all__ = [
+    "DistribPaths",
+    "DistribStats",
+    "DistributedCoordinator",
+    "DistributedTuner",
+    "JournalTailReader",
+    "KillPolicy",
+    "Shard",
+    "WorkerConfig",
+    "format_status",
+    "partition",
+    "scan_status",
+    "shard_index",
+    "stats_from_dict",
+    "stats_to_dict",
+    "worker_main",
+]

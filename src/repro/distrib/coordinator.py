@@ -1,0 +1,491 @@
+"""Coordinator: publish shards, merge journals, survive dead workers.
+
+The coordinator owns three things:
+
+* the **worker pool** — N OS processes running
+  :func:`repro.distrib.worker.worker_main`, spawned once and reused
+  across every batch the search produces;
+* the **merged journal** — the single :class:`TuningJournal` the
+  calling tuner replays from.  The merge loop tails each worker's
+  journal (complete lines only), folds records in first-come-first-kept
+  by content key (:meth:`TuningJournal.merge_record`), and bills each
+  absorbed record's :class:`EvalStats` delta into the shared engine —
+  so a shard evaluated twice after a steal is billed exactly once;
+* the **safety net** — a lease observer (claim/steal/expiry counters,
+  per-shard completion spans), an optional deterministic kill harness
+  for chaos tests, and an inline takeover path that evaluates whatever
+  remains on the coordinator's own engine when every worker is dead or
+  a deadline passes, so ``run_shards`` always terminates.
+
+Determinism argument: the coordinator never *selects* anything — it
+only ensures every candidate key acquires a journal record.  Winner
+selection happens in the calling :class:`HierarchicalTuner`, replaying
+the merged journal through exactly the code path PR 3 proved
+bit-identical for checkpoint resume.  Scheduling races change which
+worker evaluates a candidate, never the recorded outcome (the
+analytical model is deterministic per candidate), so the merged best
+plan is byte-identical to a single-process run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..codegen.plan import KernelPlan
+from ..gpu.device import DeviceSpec, P100
+from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
+from ..obs import span as _span
+from ..resilience.checkpoint import (
+    TuningJournal,
+    plan_from_dict,
+    plan_to_dict,
+)
+from ..resilience.errors import ReproError, UsageError
+from ..tuning.evaluator import PlanEvaluator
+from .files import DistribPaths, JournalTailReader, lease_expired, read_json
+from .shards import Shard, partition
+from .worker import WorkerConfig, stats_from_dict, worker_main
+
+__all__ = ["DistribStats", "DistributedCoordinator", "KillPolicy"]
+
+
+@dataclass
+class DistribStats:
+    """Counters describing one distributed run (``distrib.*`` in obs)."""
+
+    shards_published: int = 0
+    shards_claimed: int = 0
+    shards_stolen: int = 0
+    shards_requeued: int = 0
+    lease_expiries: int = 0
+    dedup_hits: int = 0
+    records_merged: int = 0
+    takeovers: int = 0
+    workers_killed: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shards_published": self.shards_published,
+            "shards_claimed": self.shards_claimed,
+            "shards_stolen": self.shards_stolen,
+            "shards_requeued": self.shards_requeued,
+            "lease_expiries": self.lease_expiries,
+            "dedup_hits": self.dedup_hits,
+            "records_merged": self.records_merged,
+            "takeovers": self.takeovers,
+            "workers_killed": self.workers_killed,
+            "batches": self.batches,
+        }
+
+
+@dataclass(frozen=True)
+class KillPolicy:
+    """Chaos harness: SIGKILL ``victim`` once it has journaled records.
+
+    ``after_records`` counts *merged* records attributed to the victim;
+    firing then guarantees the victim dies mid-shard (its lease is
+    live, its shard unfinished), which is the scenario the acceptance
+    criteria pin: the run must still complete with a bit-identical
+    winner and no double-billed evaluations.
+    """
+
+    victim: int
+    after_records: int = 1
+
+
+@dataclass
+class _LeaseView:
+    """What the coordinator last observed about one shard's lease."""
+
+    generation: int = -1
+    worker: Optional[int] = None
+    expired_generations: Set[int] = field(default_factory=set)
+
+
+class DistributedCoordinator:
+    """Shard publisher, journal merger and worker-pool supervisor."""
+
+    def __init__(
+        self,
+        root: str,
+        workers: int,
+        device: DeviceSpec = P100,
+        engine: Optional[PlanEvaluator] = None,
+        journal: Optional[TuningJournal] = None,
+        lease_ttl: float = 2.0,
+        poll_s: float = 0.02,
+        shards_per_worker: int = 2,
+        min_batch: int = 2,
+        vectorize: Optional[bool] = None,
+        chaos: Optional[Dict[str, Any]] = None,
+        straggle_s: float = 0.0,
+        straggle_worker: Optional[int] = None,
+        partition_claims: bool = False,
+        kill: Optional[KillPolicy] = None,
+        deadline_s: float = 300.0,
+    ):
+        if workers < 1:
+            raise UsageError("--distributed requires at least 1 worker")
+        if lease_ttl <= 0:
+            raise UsageError("lease TTL must be positive")
+        self.paths = DistribPaths(root).ensure()
+        self.workers = workers
+        self.device = device
+        self.engine = engine
+        self.lease_ttl = lease_ttl
+        self.poll_s = poll_s
+        self.shards_per_worker = shards_per_worker
+        self.min_batch = min_batch
+        self.vectorize = vectorize
+        self.chaos = chaos
+        self.straggle_s = straggle_s
+        self.straggle_worker = straggle_worker
+        self.partition_claims = partition_claims
+        self.kill = kill
+        self.deadline_s = deadline_s
+        self.stats = DistribStats()
+        self.generation = 0
+        self._owns_journal = journal is None
+        self.journal = journal or TuningJournal(
+            self.paths.merged_path, device=device.name
+        )
+        self._procs: List[Any] = []
+        self._readers: Dict[int, JournalTailReader] = {}
+        self._lease_views: Dict[str, _LeaseView] = {}
+        self._done_seen: Set[str] = set()
+        self._records_by_worker: Dict[int, int] = {}
+        self._kill_fired = False
+        self._closed = False
+        from ..resilience.atomic import atomic_write_json
+
+        atomic_write_json(
+            self.paths.config_path,
+            {
+                "device": device.name,
+                "workers": workers,
+                "lease_ttl": lease_ttl,
+                "shards_per_worker": shards_per_worker,
+                "merged": self.journal.path,
+            },
+        )
+
+    # -- tuner hook -------------------------------------------------------------
+
+    def make_tuner(self, ir, **kwargs):
+        """Drop-in for the ``make_tuner`` hooks in ``deep_tune``/``optimize``.
+
+        Adopts the caller's evaluation engine (so merged stats land in
+        the stats the CLI reports) and forces the merged journal in as
+        the tuner's checkpoint — replay from it is what makes the
+        distributed winner bit-identical.
+        """
+        from .tuner import DistributedTuner
+
+        engine = kwargs.get("evaluator")
+        if engine is not None:
+            self.engine = engine
+        else:
+            if self.engine is None:
+                self.engine = PlanEvaluator(
+                    device=self.device, vectorize=self.vectorize
+                )
+            kwargs["evaluator"] = self.engine
+        kwargs["journal"] = self.journal
+        return DistributedTuner(ir, coordinator=self, **kwargs)
+
+    # -- worker pool ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._procs:
+            return
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context("spawn")
+        for worker_id in range(self.workers):
+            config = WorkerConfig(
+                worker_id=worker_id,
+                device=self.device.name,
+                lease_ttl=self.lease_ttl,
+                poll_s=self.poll_s,
+                vectorize=self.vectorize,
+                chaos=self.chaos,
+                straggle_s=(
+                    self.straggle_s
+                    if self.straggle_worker in (None, worker_id)
+                    and self.straggle_s
+                    else 0.0
+                ),
+                claim_residue=(
+                    (worker_id, self.workers) if self.partition_claims else None
+                ),
+            )
+            process = ctx.Process(
+                target=worker_main,
+                args=(self.paths.root, config.to_dict()),
+                name=f"repro-distrib-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._procs.append(process)
+
+    def alive_workers(self) -> int:
+        return sum(1 for process in self._procs if process.is_alive())
+
+    # -- the batch protocol -----------------------------------------------------
+
+    def run_shards(
+        self,
+        ir,
+        irfp: str,
+        tag: str,
+        fresh: Sequence[Tuple[str, KernelPlan]],
+    ) -> None:
+        """Publish one batch of keyed candidates; block until resolved.
+
+        On return every key in ``fresh`` has a record (candidate or
+        failure) in the merged journal, so the caller's journal replay
+        finds them all.
+        """
+        if not fresh:
+            return
+        self.start()
+        self.paths.publish_ir(irfp, ir)
+        self.generation += 1
+        self.stats.batches += 1
+        keyed = [(key, plan_to_dict(plan)) for key, plan in fresh]
+        shards = partition(
+            self.generation,
+            irfp,
+            tag,
+            keyed,
+            self.workers * self.shards_per_worker,
+        )
+        for shard in shards:
+            shard.write(self.paths)
+        self.stats.shards_published += len(shards)
+        self._bump("distrib.shards_published", len(shards))
+        pending: Set[str] = {key for key, _ in keyed}
+        plans_by_key = dict(keyed)
+        resolved: Set[str] = set()
+        deadline = time.monotonic() + self.deadline_s
+        with _span(
+            "distrib.batch",
+            generation=self.generation,
+            candidates=len(keyed),
+            shards=len(shards),
+        ):
+            while pending - resolved:
+                self._merge_step(pending, resolved)
+                self._observe(shards)
+                self._maybe_kill()
+                if not pending - resolved:
+                    break
+                if self.alive_workers() == 0 or time.monotonic() > deadline:
+                    self._take_over(ir, plans_by_key, pending, resolved)
+                    break
+                time.sleep(self.poll_s)
+
+    # -- merge ------------------------------------------------------------------
+
+    def _reader(self, worker_id: int) -> JournalTailReader:
+        if worker_id not in self._readers:
+            self._readers[worker_id] = JournalTailReader(
+                self.paths.worker_journal_path(worker_id)
+            )
+        return self._readers[worker_id]
+
+    def _merge_step(
+        self,
+        pending: Optional[Set[str]] = None,
+        resolved: Optional[Set[str]] = None,
+    ) -> None:
+        """Drain every worker journal into the merged journal.
+
+        First record per content key wins; later duplicates (steal
+        overlap, races) are dropped and counted as ``dedup_hits`` so
+        their evaluation cost is never billed twice.
+        """
+        for worker_id in range(self.workers):
+            for record in self._reader(worker_id).poll():
+                kind = record.get("kind")
+                if kind == "header":
+                    continue
+                key = record.get("key")
+                source = record.get("worker")
+                if isinstance(source, int):
+                    self._records_by_worker[source] = (
+                        self._records_by_worker.get(source, 0) + 1
+                    )
+                if self.journal.merge_record(record):
+                    self.stats.records_merged += 1
+                    self._bump("distrib.records_merged")
+                    delta = record.get("stats")
+                    if delta and self.engine is not None:
+                        self.engine.stats.add(stats_from_dict(delta))
+                else:
+                    self.stats.dedup_hits += 1
+                    self._bump("distrib.dedup_hits")
+                if (
+                    pending is not None
+                    and resolved is not None
+                    and key in pending
+                ):
+                    resolved.add(key)
+
+    # -- lease observation ------------------------------------------------------
+
+    def _observe(self, shards: Sequence[Shard]) -> None:
+        now = time.time()
+        for shard in shards:
+            sid = shard.sid
+            view = self._lease_views.setdefault(sid, _LeaseView())
+            lease = read_json(self.paths.lease_path(sid))
+            if lease is not None:
+                generation = int(lease.get("generation", 0))
+                if view.generation < 0:
+                    self.stats.shards_claimed += 1
+                    self._bump("distrib.shards_claimed")
+                elif generation > view.generation:
+                    self.stats.shards_stolen += 1
+                    self.stats.shards_requeued += 1
+                    self._bump("distrib.shards_stolen")
+                    self._bump("distrib.shards_requeued")
+                view.generation = max(view.generation, generation)
+                view.worker = lease.get("worker")
+                if (
+                    lease_expired(lease, self.lease_ttl, now)
+                    and generation not in view.expired_generations
+                    and not self.paths.is_done(sid)
+                ):
+                    view.expired_generations.add(generation)
+                    self.stats.lease_expiries += 1
+                    self._bump("distrib.lease_expiries")
+            if sid not in self._done_seen and self.paths.is_done(sid):
+                self._done_seen.add(sid)
+                done = read_json(self.paths.done_path(sid)) or {}
+                with _span(
+                    "distrib.shard",
+                    shard=sid,
+                    worker=done.get("worker"),
+                    generation=done.get("generation"),
+                    candidates=done.get("candidates"),
+                ):
+                    pass
+
+    # -- chaos kill harness -----------------------------------------------------
+
+    def _maybe_kill(self) -> None:
+        if self.kill is None or self._kill_fired:
+            return
+        victim = self.kill.victim
+        if self._records_by_worker.get(victim, 0) < self.kill.after_records:
+            return
+        if victim >= len(self._procs):
+            return
+        process = self._procs[victim]
+        if process.is_alive() and process.pid:
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=5.0)
+        self._kill_fired = True
+        self.stats.workers_killed += 1
+        self._bump("distrib.workers_killed")
+
+    # -- inline takeover --------------------------------------------------------
+
+    def _take_over(
+        self,
+        ir,
+        plans_by_key: Dict[str, Dict[str, Any]],
+        pending: Set[str],
+        resolved: Set[str],
+    ) -> None:
+        """Evaluate whatever no worker resolved, on the coordinator.
+
+        The last-resort guarantee that ``run_shards`` terminates even
+        with every worker dead.  Inline evaluations run on the shared
+        engine, which bills them directly — so the journaled records
+        carry no ``stats`` delta (merging one would double-bill).
+        """
+        engine = self.engine
+        if engine is None:  # pragma: no cover - make_tuner always sets it
+            self.engine = engine = PlanEvaluator(
+                device=self.device, vectorize=self.vectorize
+            )
+        for key in sorted(pending - resolved):
+            plan = plan_from_dict(plans_by_key[key])
+            try:
+                found = engine.evaluate_spill_free(ir, plan)
+            except ReproError as exc:
+                self.journal.merge_record(
+                    {
+                        "kind": "failure",
+                        "key": key,
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "worker": None,
+                    }
+                )
+            else:
+                if found is None:
+                    record = {
+                        "kind": "candidate",
+                        "key": key,
+                        "plan": None,
+                        "time_s": None,
+                        "tflops": None,
+                        "worker": None,
+                    }
+                else:
+                    chosen, sim = found
+                    record = {
+                        "kind": "candidate",
+                        "key": key,
+                        "plan": plan_to_dict(chosen),
+                        "time_s": sim.time_s,
+                        "tflops": sim.tflops,
+                        "worker": None,
+                    }
+                self.journal.merge_record(record)
+            resolved.add(key)
+            self.stats.takeovers += 1
+            self._bump("distrib.takeovers")
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        if _metrics_enabled():
+            _counter(name).add(amount)
+
+    def close(self) -> None:
+        """Stop workers, drain every journal, release the merged journal."""
+        if self._closed:
+            return
+        self._closed = True
+        self.paths.request_stop()
+        for process in self._procs:
+            process.join(timeout=2.0 + self.lease_ttl)
+        for process in self._procs:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=2.0)
+        # Final drain: a straggler that woke after its shard was stolen
+        # may have journaled duplicates right before exiting — fold them
+        # in so dedup accounting is complete.
+        self._merge_step()
+        if self._owns_journal:
+            self.journal.close()
+
+    def __enter__(self) -> "DistributedCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

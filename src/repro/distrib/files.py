@@ -1,0 +1,322 @@
+"""On-disk coordination substrate for the distributed search.
+
+Everything the coordinator and workers exchange lives in one shared
+journal directory, written exclusively through the crash-safe
+primitives from :mod:`repro.resilience`:
+
+* **lease files** are created with ``O_CREAT | O_EXCL`` (the atomic
+  claim) and renewed/stolen via :func:`atomic_write_json`, so a lease
+  is always a complete JSON document — a reader can never observe a
+  half-written lease;
+* **task / done / config files** are atomic-JSON artifacts;
+* **worker journals** are ordinary :class:`TuningJournal` JSONL files
+  appended by exactly one process each (the merge tails them with
+  :class:`JournalTailReader`, which only ever consumes complete,
+  ``\\n``-terminated lines — a SIGKILLed worker's torn final append is
+  simply never seen).
+
+Layout under the root directory::
+
+    config.json           run parameters (device, workers, ttl, ...)
+    ir/<irfp>.pkl         pickled ProgramIR blobs, one per fingerprint
+    tasks/<sid>.json      published shards awaiting evaluation
+    leases/<sid>.json     live ownership records (heartbeat timestamps)
+    done/<sid>.json       completion markers
+    journals/worker-N.jsonl  per-worker result journals
+    merged.jsonl          the crash-safe merge target (default path)
+    stop                  sentinel: workers drain and exit
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..resilience.atomic import atomic_write_bytes, atomic_write_json
+
+__all__ = [
+    "DistribPaths",
+    "JournalTailReader",
+    "lease_claim",
+    "lease_renew",
+    "lease_steal",
+    "read_json",
+]
+
+
+@dataclass(frozen=True)
+class DistribPaths:
+    """Path arithmetic for one distributed-run directory."""
+
+    root: str
+
+    @property
+    def config_path(self) -> str:
+        return os.path.join(self.root, "config.json")
+
+    @property
+    def ir_dir(self) -> str:
+        return os.path.join(self.root, "ir")
+
+    @property
+    def tasks_dir(self) -> str:
+        return os.path.join(self.root, "tasks")
+
+    @property
+    def leases_dir(self) -> str:
+        return os.path.join(self.root, "leases")
+
+    @property
+    def done_dir(self) -> str:
+        return os.path.join(self.root, "done")
+
+    @property
+    def journals_dir(self) -> str:
+        return os.path.join(self.root, "journals")
+
+    @property
+    def stop_path(self) -> str:
+        return os.path.join(self.root, "stop")
+
+    @property
+    def merged_path(self) -> str:
+        return os.path.join(self.root, "merged.jsonl")
+
+    def ensure(self) -> "DistribPaths":
+        for directory in (
+            self.root,
+            self.ir_dir,
+            self.tasks_dir,
+            self.leases_dir,
+            self.done_dir,
+            self.journals_dir,
+        ):
+            os.makedirs(directory, exist_ok=True)
+        return self
+
+    # -- per-object paths -------------------------------------------------------
+
+    def ir_path(self, irfp: str) -> str:
+        return os.path.join(self.ir_dir, f"{irfp}.pkl")
+
+    def task_path(self, sid: str) -> str:
+        return os.path.join(self.tasks_dir, f"{sid}.json")
+
+    def lease_path(self, sid: str) -> str:
+        return os.path.join(self.leases_dir, f"{sid}.json")
+
+    def done_path(self, sid: str) -> str:
+        return os.path.join(self.done_dir, f"{sid}.json")
+
+    def worker_journal_path(self, worker: int) -> str:
+        return os.path.join(self.journals_dir, f"worker-{worker:02d}.jsonl")
+
+    # -- IR blobs ---------------------------------------------------------------
+
+    def publish_ir(self, irfp: str, ir: Any) -> None:
+        """Ship the ProgramIR to workers, once per fingerprint."""
+        path = self.ir_path(irfp)
+        if not os.path.exists(path):
+            atomic_write_bytes(path, pickle.dumps(ir))
+
+    def load_ir(self, irfp: str) -> Any:
+        with open(self.ir_path(irfp), "rb") as handle:
+            return pickle.loads(handle.read())
+
+    # -- stop sentinel ----------------------------------------------------------
+
+    def request_stop(self) -> None:
+        atomic_write_bytes(self.stop_path, b"stop\n")
+
+    def stop_requested(self) -> bool:
+        return os.path.exists(self.stop_path)
+
+    # -- listings ---------------------------------------------------------------
+
+    def task_ids(self) -> List[str]:
+        try:
+            names = sorted(os.listdir(self.tasks_dir))
+        except OSError:
+            return []
+        return [name[:-5] for name in names if name.endswith(".json")]
+
+    def is_done(self, sid: str) -> bool:
+        return os.path.exists(self.done_path(sid))
+
+
+def read_json(path: str) -> Optional[Dict[str, Any]]:
+    """Load a coordination artifact; None when absent or in flight.
+
+    Most artifacts are written by ``os.replace`` and therefore always
+    complete, but a *freshly claimed* lease is an ``O_EXCL`` create
+    followed by a write — a reader racing that window sees an empty or
+    partial document.  Treating it as "not readable yet" is safe
+    everywhere this is called: the claim already failed (the file
+    exists), the lease cannot be expired (it was created microseconds
+    ago), and the next poll sees the completed payload.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# lease protocol
+# ---------------------------------------------------------------------------
+
+
+def lease_claim(
+    paths: DistribPaths, sid: str, worker: int, now: Optional[float] = None
+) -> Optional[Dict[str, Any]]:
+    """Claim an unleased shard atomically; None when already leased.
+
+    ``O_CREAT | O_EXCL`` makes exactly one claimant win, with no
+    read-then-write window.
+    """
+    now = time.time() if now is None else now
+    lease = {
+        "shard": sid,
+        "worker": worker,
+        "pid": os.getpid(),
+        "claim_ts": now,
+        "hb_ts": now,
+        "generation": 0,
+        "stolen_from": None,
+    }
+    try:
+        descriptor = os.open(
+            paths.lease_path(sid), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        )
+    except FileExistsError:
+        return None
+    try:
+        payload = json.dumps(lease, sort_keys=True).encode()
+        os.write(descriptor, payload)
+        os.fsync(descriptor)
+    finally:
+        os.close(descriptor)
+    return lease
+
+
+def lease_expired(
+    lease: Dict[str, Any], ttl: float, now: Optional[float] = None
+) -> bool:
+    now = time.time() if now is None else now
+    return (now - float(lease.get("hb_ts", 0.0))) > ttl
+
+
+def lease_steal(
+    paths: DistribPaths,
+    sid: str,
+    worker: int,
+    ttl: float,
+    now: Optional[float] = None,
+) -> Optional[Dict[str, Any]]:
+    """Take over an expired lease; None when it is still fresh.
+
+    The replacement bumps ``generation``, which is how the previous
+    owner discovers the loss at its next renewal and abandons the
+    shard.  Two simultaneous stealers can both replace the file (last
+    ``os.replace`` wins); the loser's next renewal fails the ownership
+    check, and any records both produced meanwhile are deduplicated by
+    content key at merge time — a steal race costs duplicate work,
+    never correctness.
+    """
+    now = time.time() if now is None else now
+    current = read_json(paths.lease_path(sid))
+    if current is None or not lease_expired(current, ttl, now):
+        return None
+    lease = {
+        "shard": sid,
+        "worker": worker,
+        "pid": os.getpid(),
+        "claim_ts": now,
+        "hb_ts": now,
+        "generation": int(current.get("generation", 0)) + 1,
+        "stolen_from": current.get("worker"),
+    }
+    atomic_write_json(paths.lease_path(sid), lease)
+    confirmed = read_json(paths.lease_path(sid))
+    if confirmed is None or confirmed.get("worker") != worker:
+        return None
+    return lease
+
+
+def lease_renew(
+    paths: DistribPaths,
+    lease: Dict[str, Any],
+    now: Optional[float] = None,
+) -> Optional[Dict[str, Any]]:
+    """Heartbeat a held lease; None when ownership was lost.
+
+    A worker that stalled past the TTL may find its shard stolen — the
+    generation no longer matches — and must abandon it mid-shard (the
+    stealer re-evaluates the whole shard; the merge dedupes the
+    overlap).
+    """
+    now = time.time() if now is None else now
+    sid = lease["shard"]
+    current = read_json(paths.lease_path(sid))
+    if (
+        current is None
+        or current.get("worker") != lease["worker"]
+        or current.get("generation") != lease["generation"]
+    ):
+        return None
+    renewed = dict(current)
+    renewed["hb_ts"] = now
+    atomic_write_json(paths.lease_path(sid), renewed)
+    return renewed
+
+
+# ---------------------------------------------------------------------------
+# incremental journal tailing
+# ---------------------------------------------------------------------------
+
+
+class JournalTailReader:
+    """Incrementally read complete records from a growing JSONL file.
+
+    The merge loop polls each worker journal with one of these.  Only
+    ``\\n``-terminated lines are consumed — a torn trailing append (a
+    worker SIGKILLed mid-write) stays unread forever, which is exactly
+    the torn-tail-drop semantics :class:`TuningJournal` applies on
+    load, but without needing the file to be quiescent.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._offset = 0
+
+    def poll(self) -> Iterator[Dict[str, Any]]:
+        """Yield records appended since the previous poll."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                raw = handle.read()
+        except FileNotFoundError:
+            return
+        if not raw:
+            return
+        cut = raw.rfind(b"\n")
+        if cut < 0:
+            return  # only a partial line so far
+        complete = raw[: cut + 1]
+        self._offset += len(complete)
+        for line in complete.decode("utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # foreign garbage; merge takes only valid records
+            if isinstance(record, dict):
+                yield record

@@ -1,0 +1,110 @@
+"""Plan-space sharding by fingerprint range.
+
+Candidates are assigned to shards by their content-addressed journal
+key — specifically the plan-family fingerprint segment, a 64-bit hex
+digest whose value is uniform over the keyspace.  Dividing that range
+into ``shard_count`` equal intervals gives a deterministic partition
+(the same candidate always lands in the same shard for a given count)
+with no coordination: any process can recompute the assignment from
+the key alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .files import DistribPaths, read_json
+from ..resilience.atomic import atomic_write_json
+
+__all__ = ["Shard", "partition", "shard_index"]
+
+#: Width of the fingerprint segment in bits (16 hex digits).
+_FP_BITS = 64
+
+
+def shard_index(key: str, shard_count: int) -> int:
+    """Deterministic shard for a journal key: fingerprint-range bucket.
+
+    Keys look like ``<irfp>:<tag>:<family-fp>``; the trailing segment
+    is the 64-bit plan-family fingerprint.  ``value * count >> 64``
+    maps the range ``[0, 2^64)`` onto ``[0, count)`` in equal-width
+    intervals.
+    """
+    fp_hex = key.rsplit(":", 1)[-1]
+    return (int(fp_hex, 16) * shard_count) >> _FP_BITS
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One published unit of work: a batch of keyed candidates."""
+
+    sid: str
+    irfp: str
+    tag: str
+    candidates: Tuple[Tuple[str, Dict[str, Any]], ...]  # (key, plan dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sid": self.sid,
+            "irfp": self.irfp,
+            "tag": self.tag,
+            "candidates": [
+                {"key": key, "plan": plan} for key, plan in self.candidates
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Shard":
+        return cls(
+            sid=data["sid"],
+            irfp=data["irfp"],
+            tag=data["tag"],
+            candidates=tuple(
+                (item["key"], item["plan"]) for item in data["candidates"]
+            ),
+        )
+
+    def write(self, paths: DistribPaths) -> None:
+        atomic_write_json(paths.task_path(self.sid), self.to_dict())
+
+    @classmethod
+    def load(cls, paths: DistribPaths, sid: str) -> "Shard":
+        data = read_json(paths.task_path(sid))
+        if data is None:
+            raise FileNotFoundError(paths.task_path(sid))
+        return cls.from_dict(data)
+
+
+def partition(
+    generation: int,
+    irfp: str,
+    tag: str,
+    candidates: Sequence[Tuple[str, Dict[str, Any]]],
+    shard_count: int,
+) -> List[Shard]:
+    """Split keyed candidates into at most ``shard_count`` shards.
+
+    Empty fingerprint buckets are dropped; within a shard, candidates
+    keep their input order (irrelevant to the result — every candidate
+    is keyed — but it makes journals reproducible to read).
+    """
+    shard_count = max(1, min(shard_count, len(candidates)))
+    buckets: List[List[Tuple[str, Dict[str, Any]]]] = [
+        [] for _ in range(shard_count)
+    ]
+    for key, plan in candidates:
+        buckets[shard_index(key, shard_count)].append((key, plan))
+    shards: List[Shard] = []
+    for index, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        shards.append(
+            Shard(
+                sid=f"g{generation:04d}-s{index:03d}",
+                irfp=irfp,
+                tag=tag,
+                candidates=tuple(bucket),
+            )
+        )
+    return shards

@@ -1,0 +1,142 @@
+"""Offline inspection of a distributed-run directory (`shard-status`).
+
+Reads only atomic artifacts and complete journal lines, so it is safe
+to run against a *live* directory — it observes, never mutates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from .files import DistribPaths, JournalTailReader, lease_expired, read_json
+
+__all__ = ["format_status", "scan_status"]
+
+
+def scan_status(root: str, now: Optional[float] = None) -> Dict[str, Any]:
+    """Structured snapshot of one distributed-run directory."""
+    now = time.time() if now is None else now
+    paths = DistribPaths(root)
+    if not os.path.isdir(paths.tasks_dir):
+        raise FileNotFoundError(
+            f"{root} is not a distributed-run directory (no tasks/)"
+        )
+    config = read_json(paths.config_path) or {}
+    ttl = float(config.get("lease_ttl", 2.0))
+    shards: List[Dict[str, Any]] = []
+    for sid in paths.task_ids():
+        task = read_json(paths.task_path(sid)) or {}
+        lease = read_json(paths.lease_path(sid))
+        done = read_json(paths.done_path(sid))
+        if done is not None:
+            state = "done"
+        elif lease is None:
+            state = "pending"
+        elif lease_expired(lease, ttl, now):
+            state = "expired"
+        else:
+            state = "leased"
+        entry: Dict[str, Any] = {
+            "shard": sid,
+            "state": state,
+            "candidates": len(task.get("candidates", ())),
+            "worker": None,
+            "generation": None,
+            "hb_age_s": None,
+            "stolen_from": None,
+        }
+        record = done or lease
+        if record is not None:
+            entry["worker"] = record.get("worker")
+            entry["generation"] = record.get("generation")
+            entry["stolen_from"] = (lease or {}).get("stolen_from")
+        if lease is not None and done is None:
+            entry["hb_age_s"] = round(now - float(lease.get("hb_ts", now)), 3)
+        shards.append(entry)
+    journals: List[Dict[str, Any]] = []
+    try:
+        journal_names = sorted(os.listdir(paths.journals_dir))
+    except OSError:
+        journal_names = []
+    for name in journal_names:
+        if not name.endswith(".jsonl"):
+            continue
+        path = os.path.join(paths.journals_dir, name)
+        records = sum(
+            1
+            for record in JournalTailReader(path).poll()
+            if record.get("kind") != "header"
+        )
+        journals.append({"journal": name, "records": records})
+    merged_path = config.get("merged") or paths.merged_path
+    merged_records = 0
+    if os.path.exists(merged_path):
+        merged_records = sum(
+            1
+            for record in JournalTailReader(merged_path).poll()
+            if record.get("kind") != "header"
+        )
+    states = [entry["state"] for entry in shards]
+    return {
+        "root": os.path.abspath(root),
+        "config": config,
+        "stopping": paths.stop_requested(),
+        "shards": shards,
+        "totals": {
+            "shards": len(shards),
+            "pending": states.count("pending"),
+            "leased": states.count("leased"),
+            "expired": states.count("expired"),
+            "done": states.count("done"),
+        },
+        "journals": journals,
+        "merged_records": merged_records,
+    }
+
+
+def format_status(info: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`scan_status`."""
+    lines: List[str] = []
+    config = info["config"]
+    totals = info["totals"]
+    lines.append(f"distributed run: {info['root']}")
+    if config:
+        lines.append(
+            f"  device={config.get('device')} workers={config.get('workers')} "
+            f"lease_ttl={config.get('lease_ttl')}s"
+        )
+    lines.append(
+        f"  shards: {totals['shards']} total — {totals['done']} done, "
+        f"{totals['leased']} leased, {totals['expired']} expired, "
+        f"{totals['pending']} pending"
+        + ("  [stop requested]" if info["stopping"] else "")
+    )
+    header = (
+        f"  {'shard':14s} {'state':8s} {'cand':>4s} {'worker':>6s} "
+        f"{'gen':>3s} {'hb-age':>7s}"
+    )
+    lines.append(header)
+    for entry in info["shards"]:
+        worker = "-" if entry["worker"] is None else str(entry["worker"])
+        generation = (
+            "-" if entry["generation"] is None else str(entry["generation"])
+        )
+        age = "-" if entry["hb_age_s"] is None else f"{entry['hb_age_s']:.1f}s"
+        stolen = (
+            f"  (stolen from {entry['stolen_from']})"
+            if entry["stolen_from"] is not None
+            else ""
+        )
+        lines.append(
+            f"  {entry['shard']:14s} {entry['state']:8s} "
+            f"{entry['candidates']:>4d} {worker:>6s} {generation:>3s} "
+            f"{age:>7s}{stolen}"
+        )
+    for journal in info["journals"]:
+        lines.append(
+            f"  {journal['journal']}: {journal['records']} records"
+        )
+    lines.append(f"  merged journal: {info['merged_records']} records")
+    return "\n".join(lines)

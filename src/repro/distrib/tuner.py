@@ -1,0 +1,47 @@
+"""Distributed drop-in for :class:`HierarchicalTuner`.
+
+The only override is :meth:`_measure_batch`: before the parent
+measures a batch, the fresh candidates (those without a merged-journal
+record) are shipped through the coordinator, which blocks until every
+key has a record.  The parent then runs unchanged — its journal replay
+turns the batch into pure lookups, and any key that only earned a
+*failure* record is evaluated locally, exactly like a checkpoint
+resume.  Winner selection therefore runs the same code over the same
+values as a single-process run: bit-identical results by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..codegen.plan import KernelPlan
+from ..tuning.evaluator import Measurement
+from ..tuning.hierarchical import HierarchicalTuner
+
+__all__ = ["DistributedTuner"]
+
+
+class DistributedTuner(HierarchicalTuner):
+    """Hierarchical tuner whose batches evaluate on a worker pool."""
+
+    def __init__(self, ir, coordinator, **kwargs):
+        if kwargs.get("journal") is None:
+            kwargs["journal"] = coordinator.journal
+        super().__init__(ir, **kwargs)
+        self.coordinator = coordinator
+
+    def _measure_batch(
+        self, plans: Sequence[KernelPlan]
+    ) -> List[Optional[Measurement]]:
+        fresh: List[Tuple[str, KernelPlan]] = []
+        seen = set()
+        for plan in plans:
+            key = self._journal_key("sf", plan)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.journal.lookup(key) is None:
+                fresh.append((key, plan))
+        if len(fresh) >= self.coordinator.min_batch:
+            self.coordinator.run_shards(self.ir, self._irfp, "sf", fresh)
+        return super()._measure_batch(plans)

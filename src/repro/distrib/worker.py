@@ -1,0 +1,279 @@
+"""Worker process: claim shards, evaluate candidates, journal results.
+
+Each worker is an ordinary OS process running :func:`worker_main`.  It
+owns exactly one journal file (``journals/worker-NN.jsonl``) that no
+other process writes, evaluates candidates with its own
+:class:`PlanEvaluator`, and appends one self-contained record per
+candidate — carrying the per-candidate :class:`EvalStats` delta so the
+merge can bill evaluation cost exactly once per content key even when
+a stolen shard is evaluated twice.
+
+The worker is crash-oblivious by design: it takes no special care to
+shut down cleanly, because the protocol already survives the worst
+case (SIGKILL mid-append → torn tail, never merged; SIGKILL mid-shard
+→ lease expires, shard stolen, overlap deduped).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..gpu.device import get_device
+from ..resilience.checkpoint import TuningJournal, plan_from_dict, plan_to_dict
+from ..resilience.errors import ReproError
+from ..tuning.evaluator import EvalStats, PlanEvaluator
+from .files import (
+    DistribPaths,
+    lease_claim,
+    lease_expired,
+    lease_renew,
+    lease_steal,
+    read_json,
+)
+from .shards import Shard
+
+__all__ = ["WorkerConfig", "stats_from_dict", "stats_to_dict", "worker_main"]
+
+_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(EvalStats))
+
+
+def stats_to_dict(stats: EvalStats) -> Dict[str, float]:
+    """The raw (non-derived) EvalStats fields, JSON-ready."""
+    return {name: getattr(stats, name) for name in _STATS_FIELDS}
+
+
+def stats_from_dict(data: Dict[str, Any]) -> EvalStats:
+    return EvalStats(
+        **{name: data[name] for name in _STATS_FIELDS if name in data}
+    )
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs, as a plain JSON-able record."""
+
+    worker_id: int
+    device: str
+    lease_ttl: float
+    poll_s: float = 0.05
+    heartbeat_s: Optional[float] = None  # default: lease_ttl / 3
+    vectorize: Optional[bool] = None
+    #: chaos pass-through: same FaultInjector knobs as the CLI env vars,
+    #: so a distributed chaos run faults the same content-addressed
+    #: candidates a single-process run would.
+    chaos: Optional[Dict[str, Any]] = None
+    #: test/CI hook: sleep this long after journaling each candidate,
+    #: turning this worker into a deterministic straggler whose lease
+    #: expires mid-shard.
+    straggle_s: float = 0.0
+    #: test/CI hook: restrict *initial* claims to shard indices
+    #: ``idx % modulus == residue`` — steals stay unrestricted, which is
+    #: how tests route a specific shard to the straggler and let any
+    #: healthy worker steal it back.
+    claim_residue: Optional[Tuple[int, int]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        if self.claim_residue is not None:
+            data["claim_residue"] = list(self.claim_residue)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkerConfig":
+        data = dict(data)
+        residue = data.get("claim_residue")
+        if residue is not None:
+            data["claim_residue"] = (int(residue[0]), int(residue[1]))
+        return cls(**data)
+
+
+def _build_engine(config: WorkerConfig) -> PlanEvaluator:
+    injector = None
+    chaos = config.chaos or {}
+    if chaos.get("rate"):
+        from ..resilience.faults import FaultInjector
+
+        injector = FaultInjector(
+            rate=float(chaos["rate"]),
+            seed=int(chaos.get("seed", 0)),
+            kind=chaos.get("kind", "error"),
+            transient_failures=int(chaos.get("transient", 0)),
+        )
+    return PlanEvaluator(
+        device=get_device(config.device),
+        vectorize=config.vectorize,
+        fault_injector=injector,
+    )
+
+
+def _shard_number(sid: str) -> int:
+    """The ``s``-index of a shard id ``gGGGG-sNNN``."""
+    return int(sid.rsplit("-s", 1)[-1])
+
+
+class _Worker:
+    def __init__(self, root: str, config: WorkerConfig):
+        self.paths = DistribPaths(root)
+        self.config = config
+        self.engine = _build_engine(config)
+        self.journal = TuningJournal(
+            self.paths.worker_journal_path(config.worker_id),
+            device=config.device,
+        )
+        self._ir_cache: Dict[str, Any] = {}
+        self._heartbeat_s = config.heartbeat_s or config.lease_ttl / 3.0
+        self._last_renew = 0.0
+
+    # -- shard selection --------------------------------------------------------
+
+    def _may_claim(self, sid: str) -> bool:
+        residue = self.config.claim_residue
+        if residue is None:
+            return True
+        want, modulus = residue
+        return _shard_number(sid) % modulus == want
+
+    def _next_shard(
+        self, ignore_residue: bool = False
+    ) -> Optional[Tuple[Shard, Dict[str, Any]]]:
+        """Claim a fresh shard, else steal an expired one.
+
+        ``ignore_residue`` lifts the claim restriction: a worker that
+        has been idle for a full lease TTL claims *any* unleased shard,
+        so shards "reserved" for a dead worker that never claimed them
+        (no lease to steal) cannot strand the run.
+        """
+        pending = [
+            sid for sid in self.paths.task_ids() if not self.paths.is_done(sid)
+        ]
+        for sid in pending:
+            if not (ignore_residue or self._may_claim(sid)):
+                continue
+            lease = lease_claim(self.paths, sid, self.config.worker_id)
+            if lease is not None:
+                return Shard.load(self.paths, sid), lease
+        for sid in pending:
+            current = read_json(self.paths.lease_path(sid))
+            if current is None or not lease_expired(
+                current, self.config.lease_ttl
+            ):
+                continue
+            lease = lease_steal(
+                self.paths, sid, self.config.worker_id, self.config.lease_ttl
+            )
+            if lease is not None:
+                return Shard.load(self.paths, sid), lease
+        return None
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _load_ir(self, irfp: str):
+        if irfp not in self._ir_cache:
+            self._ir_cache[irfp] = self.paths.load_ir(irfp)
+        return self._ir_cache[irfp]
+
+    def _evaluate(self, shard: Shard, key: str, plan_dict: Dict[str, Any]):
+        """One candidate → one journal record with its stats delta."""
+        ir = self._load_ir(shard.irfp)
+        plan = plan_from_dict(plan_dict)
+        before = self.engine.stats.snapshot()
+        base = {
+            "key": key,
+            "worker": self.config.worker_id,
+            "shard": shard.sid,
+        }
+        try:
+            found = self.engine.evaluate_spill_free(ir, plan)
+        except ReproError as exc:
+            record = dict(
+                base,
+                kind="failure",
+                error=type(exc).__name__,
+                message=str(exc),
+            )
+        else:
+            if found is None:
+                record = dict(
+                    base, kind="candidate", plan=None, time_s=None, tflops=None
+                )
+            else:
+                resolved, sim = found
+                record = dict(
+                    base,
+                    kind="candidate",
+                    plan=plan_to_dict(resolved),
+                    time_s=sim.time_s,
+                    tflops=sim.tflops,
+                )
+        record["stats"] = stats_to_dict(self.engine.stats.since(before))
+        self.journal.append_record(record)
+
+    def _renew_if_due(self, lease: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        now = time.time()
+        if now - self._last_renew < self._heartbeat_s:
+            return lease
+        renewed = lease_renew(self.paths, lease, now)
+        if renewed is not None:
+            self._last_renew = now
+        return renewed
+
+    def _process(self, shard: Shard, lease: Dict[str, Any]) -> None:
+        self._last_renew = time.time()
+        for key, plan_dict in shard.candidates:
+            if self.paths.stop_requested():
+                return
+            lease = self._renew_if_due(lease)
+            if lease is None:
+                # Ownership lost: someone stole the shard while we
+                # stalled.  Abandon it — the stealer re-evaluates the
+                # whole shard and the merge dedupes whatever overlaps.
+                return
+            if self.journal.lookup(key) is None:
+                self._evaluate(shard, key, plan_dict)
+            if self.config.straggle_s:
+                time.sleep(self.config.straggle_s)
+        final = lease_renew(self.paths, lease)
+        if final is not None:
+            from ..resilience.atomic import atomic_write_json
+
+            atomic_write_json(
+                self.paths.done_path(shard.sid),
+                {
+                    "shard": shard.sid,
+                    "worker": self.config.worker_id,
+                    "generation": lease["generation"],
+                    "candidates": len(shard.candidates),
+                    "completed_ts": time.time(),
+                },
+            )
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> None:
+        idle_since: Optional[float] = None
+        try:
+            while not self.paths.stop_requested():
+                starved = (
+                    idle_since is not None
+                    and time.time() - idle_since > self.config.lease_ttl
+                )
+                claimed = self._next_shard(ignore_residue=starved)
+                if claimed is None:
+                    if idle_since is None:
+                        idle_since = time.time()
+                    time.sleep(self.config.poll_s)
+                    continue
+                idle_since = None
+                shard, lease = claimed
+                self._process(shard, lease)
+        finally:
+            self.journal.close()
+
+
+def worker_main(root: str, config_dict: Dict[str, Any]) -> None:
+    """Process entry point (spawn-safe: primitives in, nothing out)."""
+    _Worker(root, WorkerConfig.from_dict(config_dict)).run()

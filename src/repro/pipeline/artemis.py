@@ -19,7 +19,7 @@ Steps, mirroring the paper's summary:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..codegen.generator import lower, schedule_tflops
 from ..codegen.plan import GMEM, KernelPlan, ProgramPlan
@@ -71,6 +71,7 @@ def optimize(
     evaluator: Optional[PlanEvaluator] = None,
     workers: Optional[int] = None,
     journal: Optional[TuningJournal] = None,
+    make_tuner: Optional[Callable[..., HierarchicalTuner]] = None,
 ) -> OptimizationOutcome:
     """Run the end-to-end ARTEMIS optimization flow.
 
@@ -90,7 +91,8 @@ def optimize(
         engine = evaluator or PlanEvaluator(device=device, workers=workers)
         stats_before = engine.stats.snapshot()
         outcome = _optimize(
-            ir, engine, iterations, explore_fission, top_k, journal
+            ir, engine, iterations, explore_fission, top_k, journal,
+            make_tuner=make_tuner,
         )
     from dataclasses import replace
 
@@ -107,10 +109,13 @@ def _optimize(
     explore_fission: bool,
     top_k: int,
     journal: Optional[TuningJournal] = None,
+    make_tuner: Optional[Callable[..., HierarchicalTuner]] = None,
 ) -> OptimizationOutcome:
     device = engine.device
     if ir.is_iterative and len(ir.kernels) == 1:
-        return _optimize_iterative(ir, device, iterations, top_k, engine, journal)
+        return _optimize_iterative(
+            ir, device, iterations, top_k, engine, journal, make_tuner
+        )
     if ir.is_iterative:
         # Multi-statement iterative DAGs (e.g. denoise): fuse the DAG
         # into one kernel, deep-tune the time dimension, and keep the
@@ -119,19 +124,22 @@ def _optimize(
 
         fused = maxfuse(ir)
         spatial = _optimize_spatial(
-            ir, device, explore_fission, top_k, engine, journal
+            ir, device, explore_fission, top_k, engine, journal, make_tuner
         )
         if len(fused.kernels) == 1:
             try:
                 fused_outcome = _optimize_iterative(
-                    fused, device, iterations, top_k, engine, journal
+                    fused, device, iterations, top_k, engine, journal,
+                    make_tuner,
                 )
             except (PlanInfeasible, ValueError):
                 return spatial
             if fused_outcome.tflops > spatial.tflops:
                 return fused_outcome
         return spatial
-    return _optimize_spatial(ir, device, explore_fission, top_k, engine, journal)
+    return _optimize_spatial(
+        ir, device, explore_fission, top_k, engine, journal, make_tuner
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -146,10 +154,12 @@ def _optimize_iterative(
     top_k: int,
     evaluator: Optional[PlanEvaluator] = None,
     journal: Optional[TuningJournal] = None,
+    make_tuner: Optional[Callable[..., HierarchicalTuner]] = None,
 ) -> OptimizationOutcome:
     steps = iterations if iterations is not None else ir.time_iterations
     deep = deep_tune(
-        ir, device=device, top_k=top_k, evaluator=evaluator, journal=journal
+        ir, device=device, top_k=top_k, evaluator=evaluator, journal=journal,
+        make_tuner=make_tuner,
     )
     schedule = fusion_schedule(deep, steps)
     program_plan = schedule_to_program_plan(deep, schedule)
@@ -182,11 +192,13 @@ def _optimize_spatial(
     top_k: int,
     evaluator: Optional[PlanEvaluator] = None,
     journal: Optional[TuningJournal] = None,
+    make_tuner: Optional[Callable[..., HierarchicalTuner]] = None,
 ) -> OptimizationOutcome:
     log = evaluator.search_log if evaluator is not None else None
     with _log_context(log, variant="tuned"):
         schedule, advice_list, evaluations = _tune_kernels(
-            ir, device, top_k, evaluator=evaluator, journal=journal
+            ir, device, top_k, evaluator=evaluator, journal=journal,
+            make_tuner=make_tuner,
         )
     best_tflops = schedule_tflops(ir, schedule, device)
     best = OptimizationOutcome(
@@ -214,7 +226,7 @@ def _optimize_spatial(
                 with _log_context(log, variant="dag-fused"):
                     f_schedule, f_advice, f_evals = _tune_kernels(
                         fused_ir, device, top_k, evaluator=evaluator,
-                        journal=journal,
+                        journal=journal, make_tuner=make_tuner,
                     )
                 f_tflops = schedule_tflops(fused_ir, f_schedule, device)
                 if f_tflops > best.tflops:
@@ -243,7 +255,7 @@ def _optimize_spatial(
                 with _log_context(log, variant=candidate.label):
                     cand_schedule, cand_advice, cand_evals = _tune_kernels(
                         candidate.ir, device, top_k, evaluator=evaluator,
-                        journal=journal,
+                        journal=journal, make_tuner=make_tuner,
                     )
             except PlanInfeasible:
                 continue
@@ -265,7 +277,7 @@ def _optimize_spatial(
         with _log_context(log, variant="global"):
             global_schedule, _, g_evals = _tune_kernels(
                 ir, device, top_k, force_gmem=True, evaluator=evaluator,
-                journal=journal,
+                journal=journal, make_tuner=make_tuner,
             )
         g_tflops = schedule_tflops(ir, global_schedule, device)
         if g_tflops > best.tflops:
@@ -301,6 +313,7 @@ def _tune_kernels(
     force_gmem: bool = False,
     evaluator: Optional[PlanEvaluator] = None,
     journal: Optional[TuningJournal] = None,
+    make_tuner: Optional[Callable[..., HierarchicalTuner]] = None,
 ):
     """Profile-advise-tune every kernel of a program."""
     plans: List[KernelPlan] = []
@@ -327,7 +340,7 @@ def _tune_kernels(
         if log is not None:
             log.advice(instance.name, kernel_advice)
         advice_list.append(kernel_advice)
-        tuner = HierarchicalTuner(
+        tuner = (make_tuner or HierarchicalTuner)(
             ir,
             device=device,
             use_unrolling=kernel_advice.use_unrolling,

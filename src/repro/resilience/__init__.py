@@ -25,6 +25,7 @@ from .errors import (
     CheckpointCorruptError,
     CheckpointDeviceMismatch,
     CheckpointError,
+    CheckpointLockedError,
     EvaluationError,
     EvaluationTimeout,
     FailureBudgetExceeded,
@@ -48,6 +49,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointDeviceMismatch",
     "CheckpointError",
+    "CheckpointLockedError",
     "EvaluationError",
     "EvaluationTimeout",
     "FAULT_KINDS",

@@ -33,12 +33,35 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry so the rename survives power loss.
+
+    ``os.replace`` makes the *content* swap atomic, but the new
+    directory entry itself lives in the parent directory's metadata —
+    without this fsync a crash shortly after the rename can roll the
+    directory back and the file (a lease, a journal shard) vanishes.
+    Platforms that cannot open directories read-only (Windows) skip
+    the sync; they have no O_DIRECTORY semantics to flush anyway.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:

@@ -40,7 +40,13 @@ from .errors import (
     CheckpointCorruptError,
     CheckpointDeviceMismatch,
     CheckpointError,
+    CheckpointLockedError,
 )
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -141,6 +147,7 @@ class TuningJournal:
         if existed:
             self._load()
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._acquire_lock()
         if not existed:
             self._append(
                 {
@@ -150,6 +157,30 @@ class TuningJournal:
                     "device": device,
                 }
             )
+
+    def _acquire_lock(self) -> None:
+        """Take an advisory exclusive lock on the append handle.
+
+        A second live writer on the same path would interleave its
+        appends with ours mid-record; the lock makes the misuse loud
+        (:class:`CheckpointLockedError`, exit 2) instead of silent.
+        Advisory only — readers (``_load``, torn-tail repair, offline
+        merges of *closed* journals) are unaffected.  Platforms without
+        ``fcntl`` skip the check.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._handle.close()
+            raise CheckpointLockedError(
+                f"checkpoint journal {self.path} is already open for "
+                f"writing by another process; give each run its own "
+                f"--checkpoint path (distributed workers journal to "
+                f"sibling files and merge)",
+                path=self.path,
+            ) from None
 
     # -- loading ----------------------------------------------------------------
 
@@ -278,6 +309,56 @@ class TuningJournal:
         with self._lock:
             self._records[key] = record
         self._append(record)
+
+    def append_record(self, record: Dict[str, Any]) -> None:
+        """Journal a pre-built record verbatim (distributed workers).
+
+        The record must carry a ``kind`` and a string ``key``; extra
+        fields (worker id, shard id, per-candidate stats deltas) ride
+        along untouched so the merge can account for them.
+        """
+        kind = record.get("kind")
+        key = record.get("key")
+        if kind not in ("candidate", "failure", "degree") or not isinstance(
+            key, str
+        ):
+            raise CheckpointError(
+                f"cannot journal record kind={kind!r} key={key!r}",
+                path=self.path,
+            )
+        with self._lock:
+            if kind == "failure":
+                self._failures[key] = record
+            else:
+                self._records[key] = record
+        self._append(record)
+
+    def merge_record(self, record: Dict[str, Any]) -> bool:
+        """Fold one foreign record in; return False for duplicates.
+
+        The crash-safe merge invariant: the *first* record for a
+        content-addressed key wins, later arrivals (a stolen shard
+        re-evaluated by a second worker) are dropped so their
+        evaluation cost is never double-billed.  A failure record is a
+        duplicate if the key already has *any* record — a successful
+        re-evaluation after a steal supersedes the victim's failure.
+        """
+        kind = record.get("kind")
+        key = record.get("key")
+        if kind == "header" or not isinstance(key, str):
+            return False
+        with self._lock:
+            if key in self._records:
+                return False
+            if kind == "failure":
+                if key in self._failures:
+                    return False
+                self._failures[key] = record
+            else:
+                self._records[key] = record
+                self.replayable += 1
+        self._append(record)
+        return True
 
     # -- lookup -----------------------------------------------------------------
 

@@ -30,6 +30,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointDeviceMismatch",
     "CheckpointError",
+    "CheckpointLockedError",
     "EvaluationError",
     "EvaluationTimeout",
     "FailureBudgetExceeded",
@@ -136,6 +137,21 @@ class CheckpointDeviceMismatch(CheckpointError, UsageError):
     start a fresh checkpoint, or warm-start via transfer tuning, which
     reads foreign journals deliberately), so it exits with the usage
     code ``2`` while remaining catchable as :class:`CheckpointError`.
+    """
+
+    exit_code = 2
+
+
+class CheckpointLockedError(CheckpointError, UsageError):
+    """Another live writer already holds this checkpoint journal.
+
+    Two processes appending to the same JSONL file would interleave
+    (and tear) each other's records, silently corrupting the very
+    history the journal exists to protect.  Distributed runs give each
+    worker its own sibling journal and merge afterwards; pointing two
+    runs at one ``--checkpoint`` path is caller-correctable misuse, so
+    this exits with the usage code ``2`` while remaining catchable as
+    :class:`CheckpointError`.
     """
 
     exit_code = 2

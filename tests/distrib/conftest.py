@@ -1,0 +1,41 @@
+"""Fixtures for the distributed-search test suite.
+
+The reduced-domain smoother keeps lease/steal chaos scenarios cheap
+(each runs a full hierarchical tuning pass several times); the
+acceptance-level bit-identity tests use real suite kernels instead.
+"""
+
+import pytest
+
+from repro.codegen import seed_plan_from_pragma
+from repro.dsl import parse
+from repro.ir import build_ir
+
+SMOOTHER_SRC = """
+parameter L=128, M=128, N=128;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin in, h2inv, a, b;
+iterate 8;
+#pragma stream k block (32,16)
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1] + A[k][j][i-1]
+    + A[k][j+1][i] + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i]
+    - A[k][j][i]*6.0);
+}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+"""
+
+
+@pytest.fixture(scope="module")
+def smoother_ir():
+    return build_ir(parse(SMOOTHER_SRC))
+
+
+@pytest.fixture
+def base_plan(smoother_ir):
+    return seed_plan_from_pragma(smoother_ir, smoother_ir.kernels[0]).replace(
+        placements=(("in", "shmem"),)
+    )

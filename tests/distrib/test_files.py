@@ -1,0 +1,147 @@
+"""Lease protocol and journal tailing: the coordination primitives."""
+
+import json
+import os
+
+from repro.distrib import DistribPaths, JournalTailReader, WorkerConfig
+from repro.distrib.files import (
+    lease_claim,
+    lease_expired,
+    lease_renew,
+    lease_steal,
+    read_json,
+)
+
+
+class TestReadJson:
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_json(str(tmp_path / "absent.json")) is None
+
+    def test_partial_document_is_none(self, tmp_path):
+        # A freshly created lease can be observed between O_EXCL create
+        # and payload write; that window must read as "not yet".
+        path = tmp_path / "lease.json"
+        path.write_text('{"shard": "g0001-s0')
+        assert read_json(str(path)) is None
+
+    def test_complete_document_round_trips(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text('{"a": 1}')
+        assert read_json(str(path)) == {"a": 1}
+
+
+class TestLeaseProtocol:
+    def test_claim_is_exclusive(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        lease = lease_claim(paths, "g0001-s000", worker=0)
+        assert lease is not None
+        assert lease["worker"] == 0
+        assert lease["generation"] == 0
+        assert lease["stolen_from"] is None
+        # Second claimant loses, regardless of worker id.
+        assert lease_claim(paths, "g0001-s000", worker=1) is None
+        # The on-disk lease is complete JSON identical to the winner's.
+        assert read_json(paths.lease_path("g0001-s000")) == lease
+
+    def test_expiry_is_heartbeat_age(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        lease = lease_claim(paths, "g0001-s000", worker=0, now=100.0)
+        assert not lease_expired(lease, ttl=2.0, now=101.9)
+        assert lease_expired(lease, ttl=2.0, now=102.1)
+
+    def test_steal_requires_expiry(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        lease_claim(paths, "g0001-s000", worker=0, now=100.0)
+        assert (
+            lease_steal(paths, "g0001-s000", worker=1, ttl=2.0, now=101.0)
+            is None
+        )
+        stolen = lease_steal(paths, "g0001-s000", worker=1, ttl=2.0, now=103.0)
+        assert stolen is not None
+        assert stolen["worker"] == 1
+        assert stolen["generation"] == 1
+        assert stolen["stolen_from"] == 0
+
+    def test_steal_of_unleased_shard_is_none(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        assert (
+            lease_steal(paths, "g0001-s000", worker=1, ttl=2.0, now=100.0)
+            is None
+        )
+
+    def test_renew_updates_heartbeat(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        lease = lease_claim(paths, "g0001-s000", worker=0, now=100.0)
+        renewed = lease_renew(paths, lease, now=101.5)
+        assert renewed is not None
+        assert renewed["hb_ts"] == 101.5
+        assert not lease_expired(renewed, ttl=2.0, now=103.0)
+
+    def test_renew_after_steal_reports_ownership_loss(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        lease = lease_claim(paths, "g0001-s000", worker=0, now=100.0)
+        lease_steal(paths, "g0001-s000", worker=1, ttl=2.0, now=103.0)
+        # The stalled original owner must abandon the shard.
+        assert lease_renew(paths, lease, now=104.0) is None
+
+
+class TestJournalTailReader:
+    def test_incremental_and_torn_tail(self, tmp_path):
+        path = tmp_path / "worker-00.jsonl"
+        reader = JournalTailReader(str(path))
+        assert list(reader.poll()) == []  # not created yet
+
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "candidate", "key": "k1"}) + "\n")
+            handle.write(json.dumps({"kind": "candidate", "key": "k2"}) + "\n")
+        assert [r["key"] for r in reader.poll()] == ["k1", "k2"]
+        assert list(reader.poll()) == []  # nothing new
+
+        # A torn append (SIGKILL mid-write) is never consumed...
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "candidate", "key": "k3", "pl')
+        assert list(reader.poll()) == []
+        # ...until the line completes.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('an": null}\n')
+        assert [r["key"] for r in reader.poll()] == ["k3"]
+
+    def test_garbage_complete_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "worker-00.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"kind": "candidate", "key": "k1"}) + "\n")
+            handle.write(json.dumps([1, 2, 3]) + "\n")  # not a record dict
+        assert [r["key"] for r in JournalTailReader(str(path)).poll()] == [
+            "k1"
+        ]
+
+
+class TestWorkerConfig:
+    def test_round_trips_through_json(self):
+        config = WorkerConfig(
+            worker_id=3,
+            device="P100",
+            lease_ttl=0.5,
+            straggle_s=0.25,
+            claim_residue=(1, 4),
+            chaos={"rate": 0.1, "seed": 7},
+        )
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert WorkerConfig.from_dict(wire) == config
+
+    def test_layout_paths_are_disjoint(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        distinct = {
+            paths.config_path,
+            paths.ir_path("fp"),
+            paths.task_path("g0001-s000"),
+            paths.lease_path("g0001-s000"),
+            paths.done_path("g0001-s000"),
+            paths.worker_journal_path(0),
+            paths.merged_path,
+            paths.stop_path,
+        }
+        assert len(distinct) == 8
+        for path in distinct:
+            assert os.path.dirname(path).startswith(str(tmp_path))

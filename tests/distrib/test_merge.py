@@ -1,0 +1,179 @@
+"""Crash-safe merge: first-record-wins, torn tails, sibling journals."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.distrib import DistribPaths, JournalTailReader
+from repro.resilience import CheckpointError, TuningJournal
+
+
+class TestMergeRecord:
+    def _journal(self, tmp_path):
+        return TuningJournal(str(tmp_path / "merged.jsonl"), device="P100")
+
+    def test_first_record_wins(self, tmp_path):
+        with self._journal(tmp_path) as journal:
+            first = {"kind": "candidate", "key": "k1", "plan": {"v": 1}}
+            second = {"kind": "candidate", "key": "k1", "plan": {"v": 2}}
+            assert journal.merge_record(first) is True
+            assert journal.merge_record(second) is False
+            assert journal.lookup("k1")["plan"] == {"v": 1}
+            assert journal.replayable == 1
+
+    def test_headers_and_keyless_records_are_ignored(self, tmp_path):
+        with self._journal(tmp_path) as journal:
+            assert journal.merge_record({"kind": "header", "version": 1}) is False
+            assert journal.merge_record({"kind": "candidate"}) is False
+            assert len(journal) == 0
+
+    def test_duplicate_failures_are_dropped(self, tmp_path):
+        with self._journal(tmp_path) as journal:
+            failure = {"kind": "failure", "key": "k1", "error": "Boom"}
+            assert journal.merge_record(failure) is True
+            assert journal.merge_record(dict(failure)) is False
+            assert journal.replayable == 0  # failures never replay
+
+    def test_candidate_supersedes_failure(self, tmp_path):
+        # A SIGKILLed worker's failure then a stealer's success: the
+        # success must win so the key replays instead of re-erroring.
+        with self._journal(tmp_path) as journal:
+            assert journal.merge_record(
+                {"kind": "failure", "key": "k1", "error": "Boom"}
+            )
+            assert journal.merge_record(
+                {"kind": "candidate", "key": "k1", "plan": {"v": 1}}
+            )
+            assert journal.lookup("k1")["plan"] == {"v": 1}
+
+    def test_candidate_blocks_later_failure(self, tmp_path):
+        with self._journal(tmp_path) as journal:
+            assert journal.merge_record(
+                {"kind": "candidate", "key": "k1", "plan": {"v": 1}}
+            )
+            assert not journal.merge_record(
+                {"kind": "failure", "key": "k1", "error": "Boom"}
+            )
+            assert journal.lookup("k1")["plan"] == {"v": 1}
+
+    def test_merged_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "merged.jsonl")
+        with TuningJournal(path, device="P100") as journal:
+            journal.merge_record(
+                {"kind": "candidate", "key": "k1", "plan": {"v": 1},
+                 "worker": 3, "stats": {"requests": 1}}
+            )
+        reopened = TuningJournal(path, device="P100")
+        assert reopened.lookup("k1")["worker"] == 3
+        reopened.close()
+
+    def test_append_record_validates_shape(self, tmp_path):
+        with self._journal(tmp_path) as journal:
+            with pytest.raises(CheckpointError):
+                journal.append_record({"kind": "nonsense", "key": "k1"})
+            with pytest.raises(CheckpointError):
+                journal.append_record({"kind": "candidate", "key": None})
+
+
+def _write_sibling_journal(root, worker, count):
+    """Child-process body: journal ``count`` records the worker way."""
+    paths = DistribPaths(root)
+    journal = TuningJournal(paths.worker_journal_path(worker), device="P100")
+    for index in range(count):
+        journal.append_record(
+            {
+                "kind": "candidate",
+                "key": f"w{worker}-k{index}",
+                "plan": {"worker": worker, "index": index},
+                "worker": worker,
+            }
+        )
+    journal.close()
+
+
+class TestSiblingJournalMerge:
+    def test_two_processes_one_directory_torn_tail_dropped(self, tmp_path):
+        """Satellite: concurrent sibling appends merge without loss.
+
+        Two real OS processes append to their own journals in one
+        shared directory; afterwards one journal gains a torn trailing
+        line (a simulated SIGKILL mid-append).  The merge must recover
+        every intact record and drop exactly the torn tail.
+        """
+        root = str(tmp_path)
+        paths = DistribPaths(root).ensure()
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_write_sibling_journal, args=(root, w, 25))
+            for w in (0, 1)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=30.0)
+            assert proc.exitcode == 0
+
+        torn = {"kind": "candidate", "key": "w0-torn", "plan": {"v": 9}}
+        with open(paths.worker_journal_path(0), "a", encoding="utf-8") as f:
+            f.write(json.dumps(torn)[:-7])  # no newline: torn mid-write
+
+        merged = TuningJournal(str(tmp_path / "merged.jsonl"), device="P100")
+        absorbed = 0
+        for worker in (0, 1):
+            reader = JournalTailReader(paths.worker_journal_path(worker))
+            for record in reader.poll():
+                if record.get("kind") == "header":
+                    continue
+                if merged.merge_record(record):
+                    absorbed += 1
+        assert absorbed == 50
+        for worker in (0, 1):
+            for index in range(25):
+                hit = merged.lookup(f"w{worker}-k{index}")
+                assert hit is not None
+                assert hit["plan"] == {"worker": worker, "index": index}
+        assert merged.lookup("w0-torn") is None  # exactly the tail dropped
+        merged.close()
+
+        # The merged journal itself reloads cleanly.
+        reloaded = TuningJournal(str(tmp_path / "merged.jsonl"), device="P100")
+        assert reloaded.replayable == 50
+        reloaded.close()
+
+    def test_overlapping_keys_dedupe_across_journals(self, tmp_path):
+        # Steal overlap: both workers evaluated the same keys; merging
+        # both journals keeps one record per key.
+        paths = DistribPaths(str(tmp_path)).ensure()
+        for worker in (0, 1):
+            with TuningJournal(
+                paths.worker_journal_path(worker), device="P100"
+            ) as journal:
+                for index in range(10):
+                    journal.append_record(
+                        {
+                            "kind": "candidate",
+                            "key": f"shared-k{index}",
+                            "plan": {"worker": worker},
+                            "worker": worker,
+                        }
+                    )
+        merged = TuningJournal(str(tmp_path / "merged.jsonl"), device="P100")
+        absorbed = dropped = 0
+        for worker in (0, 1):
+            for record in JournalTailReader(
+                paths.worker_journal_path(worker)
+            ).poll():
+                if record.get("kind") == "header":
+                    continue
+                if merged.merge_record(record):
+                    absorbed += 1
+                else:
+                    dropped += 1
+        assert absorbed == 10
+        assert dropped == 10
+        # First journal polled wins every key.
+        for index in range(10):
+            assert merged.lookup(f"shared-k{index}")["plan"] == {"worker": 0}
+        merged.close()

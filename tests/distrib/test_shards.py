@@ -1,0 +1,91 @@
+"""Fingerprint-range sharding: determinism, coverage, round-trips."""
+
+import hashlib
+
+import pytest
+
+from repro.distrib import DistribPaths, Shard, partition, shard_index
+
+
+def _key(i):
+    """A journal-shaped key with a uniform 64-bit trailing segment."""
+    fp = hashlib.sha256(str(i).encode()).hexdigest()[:16]
+    return f"aabbccddeeff0011:sf:{fp}"
+
+
+class TestShardIndex:
+    def test_in_range_and_deterministic(self):
+        for count in (1, 2, 3, 7, 16):
+            for i in range(200):
+                index = shard_index(_key(i), count)
+                assert 0 <= index < count
+                assert index == shard_index(_key(i), count)
+
+    def test_extremes_map_to_first_and_last(self):
+        low = "ir:sf:" + "0" * 16
+        high = "ir:sf:" + "f" * 16
+        assert shard_index(low, 8) == 0
+        assert shard_index(high, 8) == 7
+
+    def test_spreads_over_buckets(self):
+        hits = {shard_index(_key(i), 8) for i in range(200)}
+        assert hits == set(range(8))
+
+    def test_uses_only_the_trailing_segment(self):
+        fp = "0123456789abcdef"
+        assert shard_index(f"irA:sf:{fp}", 8) == shard_index(
+            f"irB:ms:{fp}", 8
+        )
+
+
+class TestPartition:
+    def _candidates(self, n):
+        return [(_key(i), {"v": i}) for i in range(n)]
+
+    def test_every_candidate_lands_in_exactly_one_shard(self):
+        candidates = self._candidates(50)
+        shards = partition(1, "irfp", "sf", candidates, 8)
+        flattened = [pair for shard in shards for pair in shard.candidates]
+        assert sorted(flattened) == sorted(
+            (key, plan) for key, plan in candidates
+        )
+
+    def test_empty_buckets_are_dropped(self):
+        shards = partition(1, "irfp", "sf", self._candidates(3), 16)
+        assert all(shard.candidates for shard in shards)
+        # The count is clamped to the candidate count first.
+        assert len(shards) <= 3
+
+    def test_shard_count_clamped_to_candidates(self):
+        shards = partition(2, "irfp", "sf", self._candidates(2), 64)
+        assert 1 <= len(shards) <= 2
+
+    def test_sid_encodes_generation_and_index(self):
+        shards = partition(7, "irfp", "sf", self._candidates(20), 4)
+        assert all(shard.sid.startswith("g0007-s") for shard in shards)
+        assert len({shard.sid for shard in shards}) == len(shards)
+
+    def test_same_inputs_same_partition(self):
+        candidates = self._candidates(30)
+        first = partition(1, "irfp", "sf", candidates, 4)
+        second = partition(1, "irfp", "sf", candidates, 4)
+        assert first == second
+
+
+class TestShardRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        shard = Shard(
+            sid="g0001-s000",
+            irfp="deadbeefdeadbeef",
+            tag="sf",
+            candidates=((_key(1), {"v": 1}), (_key(2), {"v": 2})),
+        )
+        shard.write(paths)
+        assert Shard.load(paths, "g0001-s000") == shard
+        assert paths.task_ids() == ["g0001-s000"]
+
+    def test_load_missing_raises(self, tmp_path):
+        paths = DistribPaths(str(tmp_path)).ensure()
+        with pytest.raises(FileNotFoundError):
+            Shard.load(paths, "g0001-s999")

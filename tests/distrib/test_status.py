@@ -1,0 +1,88 @@
+"""`shard-status` scanning of a run directory, live or finished."""
+
+import json
+
+import pytest
+
+from repro.distrib import DistribPaths, Shard, format_status, scan_status
+from repro.distrib.files import lease_claim, lease_steal
+from repro.resilience.atomic import atomic_write_json
+
+
+def _shard(sid, count=2):
+    return Shard(
+        sid=sid,
+        irfp="deadbeefdeadbeef",
+        tag="sf",
+        candidates=tuple(
+            (f"{sid}-k{i}", {"v": i}) for i in range(count)
+        ),
+    )
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """A synthetic directory with one shard in every lifecycle state."""
+    paths = DistribPaths(str(tmp_path)).ensure()
+    atomic_write_json(
+        paths.config_path,
+        {"device": "P100", "workers": 2, "lease_ttl": 2.0},
+    )
+    _shard("g0001-s000").write(paths)  # pending: no lease
+    _shard("g0001-s001").write(paths)  # leased: fresh heartbeat
+    lease_claim(paths, "g0001-s001", worker=0)
+    _shard("g0001-s002").write(paths)  # expired: old heartbeat
+    lease_claim(paths, "g0001-s002", worker=1, now=1.0)
+    _shard("g0001-s003").write(paths)  # done, after a steal
+    lease_claim(paths, "g0001-s003", worker=0, now=1.0)
+    lease_steal(paths, "g0001-s003", worker=1, ttl=2.0, now=10.0)
+    atomic_write_json(
+        paths.done_path("g0001-s003"),
+        {"shard": "g0001-s003", "worker": 1, "generation": 1,
+         "candidates": 2, "completed_ts": 11.0},
+    )
+    with open(paths.worker_journal_path(1), "a", encoding="utf-8") as f:
+        f.write(json.dumps({"kind": "candidate", "key": "k"}) + "\n")
+        f.write('{"kind": "candidate", "key": "torn')  # never counted
+    return paths
+
+
+class TestScanStatus:
+    def test_states_and_totals(self, run_dir):
+        info = scan_status(run_dir.root)
+        states = {e["shard"]: e["state"] for e in info["shards"]}
+        assert states == {
+            "g0001-s000": "pending",
+            "g0001-s001": "leased",
+            "g0001-s002": "expired",
+            "g0001-s003": "done",
+        }
+        assert info["totals"] == {
+            "shards": 4, "pending": 1, "leased": 1, "expired": 1, "done": 1,
+        }
+        assert info["stopping"] is False
+
+    def test_steal_and_journal_details(self, run_dir):
+        info = scan_status(run_dir.root)
+        done = next(
+            e for e in info["shards"] if e["shard"] == "g0001-s003"
+        )
+        assert done["worker"] == 1
+        assert done["generation"] == 1
+        assert done["stolen_from"] == 0
+        # The torn trailing line is invisible to the scan.
+        assert info["journals"] == [
+            {"journal": "worker-01.jsonl", "records": 1}
+        ]
+
+    def test_not_a_run_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            scan_status(str(tmp_path / "nowhere"))
+
+    def test_format_renders_every_shard(self, run_dir):
+        text = format_status(scan_status(run_dir.root))
+        for sid in ("g0001-s000", "g0001-s001", "g0001-s002", "g0001-s003"):
+            assert sid in text
+        assert "stolen from 0" in text
+        assert "device=P100 workers=2" in text
+        assert "4 total" in text

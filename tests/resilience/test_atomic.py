@@ -71,6 +71,45 @@ class TestCrashSafety:
         assert os.listdir(tmp_path) == ["artifact.txt"]
 
 
+class TestDirectoryFsync:
+    def test_directory_fsynced_after_rename(self, tmp_path, monkeypatch):
+        # Power-loss durability: after os.replace, the *parent
+        # directory* entry must be fsynced too, or the rename itself
+        # can vanish.  Record every fsync with the path (via fstat
+        # inode matching) of what it flushed.
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(os.fstat(fd).st_ino)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "durable")
+        dir_inode = os.stat(tmp_path).st_ino
+        assert dir_inode in synced, "containing directory was not fsynced"
+        # ... and the directory sync happens after the file's own sync.
+        assert synced.index(dir_inode) == len(synced) - 1
+
+    def test_unsyncable_directory_is_tolerated(self, tmp_path, monkeypatch):
+        # Platforms (or filesystems) that refuse fsync on a directory fd
+        # must not break the write itself.
+        real_fsync = os.fsync
+
+        def picky_fsync(fd):
+            import stat
+
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync unsupported")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", picky_fsync)
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "still written")
+        assert target.read_text() == "still written"
+
+
 class TestConsumers:
     def test_trace_export_is_atomic(self, tmp_path):
         # write_trace routes through the atomic helper; the written file

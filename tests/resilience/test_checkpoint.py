@@ -7,6 +7,7 @@ import pytest
 from repro.resilience import (
     CheckpointCorruptError,
     CheckpointError,
+    CheckpointLockedError,
     JOURNAL_VERSION,
     TuningJournal,
     ir_fingerprint,
@@ -145,6 +146,37 @@ class TestCrashRecovery:
             handle.write(json.dumps({"kind": "candidate"}) + "\n")
         with pytest.raises(CheckpointCorruptError):
             TuningJournal(path)
+
+
+class TestWriterLock:
+    def test_second_writer_is_refused(self, tmp_path):
+        # flock conflicts across file descriptors even within one
+        # process, so this covers the cross-process case too.
+        path = str(tmp_path / "journal.jsonl")
+        first = TuningJournal(path, device="P100")
+        try:
+            with pytest.raises(CheckpointLockedError) as info:
+                TuningJournal(path, device="P100")
+            assert info.value.exit_code == 2  # a usage error at the CLI
+            assert "--checkpoint" in str(info.value)
+        finally:
+            first.close()
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with TuningJournal(path, device="P100") as journal:
+            journal.record_candidate("k1", {"v": 1})
+        reopened = TuningJournal(path, device="P100")
+        assert reopened.lookup("k1")["plan"] == {"v": 1}
+        reopened.close()
+
+    def test_sibling_paths_do_not_conflict(self, tmp_path):
+        # The distributed layout: one journal per worker, same
+        # directory.  Locks are per-file, not per-directory.
+        first = TuningJournal(str(tmp_path / "worker-00.jsonl"))
+        second = TuningJournal(str(tmp_path / "worker-01.jsonl"))
+        first.close()
+        second.close()
 
 
 class TestCompatibilityChecks:

@@ -82,6 +82,38 @@ class TestExitCodes:
         assert info.value.code == 2
 
 
+class TestChaosEnvHygiene:
+    """Malformed REPRO_CHAOS_* values are usage errors, not tracebacks."""
+
+    def test_bad_rate_is_exit_2_and_names_the_variable(
+        self, spec, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS_RATE", "abc")
+        code = main(["optimize", spec, "--top-k", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "REPRO_CHAOS_RATE" in err
+        assert "'abc'" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_seed_is_exit_2(self, spec, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_RATE", "0.1")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "4.5")
+        code = main(["optimize", spec, "--top-k", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "REPRO_CHAOS_SEED" in err
+        assert "not an integer" in err
+
+    def test_bad_transient_is_exit_2(self, spec, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_RATE", "0.1")
+        monkeypatch.setenv("REPRO_CHAOS_TRANSIENT", "lots")
+        code = main(["optimize", spec, "--top-k", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "REPRO_CHAOS_TRANSIENT" in err
+
+
 class TestDebugFlag:
     def test_debug_reenables_traceback(self, spec, monkeypatch):
         monkeypatch.setenv("REPRO_CHAOS_RATE", "0.1")
