@@ -78,9 +78,10 @@ def _obs_begin(args) -> None:
     """Enable tracing/metrics before a command when its flags ask for it."""
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
+    metrics_port = getattr(args, "metrics_port", None)
     if trace_path:
         configure_tracing(True, clear=True)
-    if trace_path or want_metrics:
+    if trace_path or want_metrics or metrics_port is not None:
         configure_metrics(True, reset=True)
 
 
@@ -88,11 +89,13 @@ def _obs_finish(args) -> None:
     """Write the trace file / print metrics, then disable collection."""
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
+    metrics_port = getattr(args, "metrics_port", None)
     if trace_path:
         write_trace(
             trace_path,
             fmt=getattr(args, "trace_format", "chrome"),
             search_events=getattr(args, "_search_events", None),
+            stitch_root=getattr(args, "_stitch_root", None),
         )
         spans = len(get_tracer().finished())
         print(f"trace: {spans} spans written to {trace_path}", file=sys.stderr)
@@ -100,11 +103,13 @@ def _obs_finish(args) -> None:
         _print_metrics()
     if trace_path:
         configure_tracing(False)
-    if trace_path or want_metrics:
+    if trace_path or want_metrics or metrics_port is not None:
         configure_metrics(False)
 
 
 def _print_metrics() -> None:
+    from .obs import Histogram
+
     snapshot = get_metrics().snapshot()
     print("\npipeline metrics:")
     if not snapshot:
@@ -113,14 +118,56 @@ def _print_metrics() -> None:
     for name, data in snapshot.items():
         kind = data["type"]
         if kind == "histogram":
+            p50 = Histogram.quantile_from_dict(data, 0.5)
+            p95 = Histogram.quantile_from_dict(data, 0.95)
             print(
                 f"  {name:36s} count={data['count']} sum={data['sum']:.6f} "
-                f"min={data['min']:.6f} max={data['max']:.6f}"
+                f"min={data['min']:.6f} p50={p50:.6f} p95={p95:.6f} "
+                f"max={data['max']:.6f}"
             )
         else:
             value = data["value"]
             rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
             print(f"  {name:36s} {rendered}")
+
+
+def _start_metrics_server(args, coordinator=None, engine=None):
+    """Serve ``/metrics`` for the run's duration when --metrics-port asks.
+
+    Distributed runs expose the coordinator's dedup-aware merged view.
+    Single-process runs expose the live global registry overlaid with
+    the engine's *current* EvalStats — the engine only publishes its
+    totals at shutdown, and a live endpoint that can't see evaluation
+    traffic mid-run would be pointless.
+    """
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        return None
+    from .obs import MetricsHTTPServer, MetricsRegistry
+    from .obs.live import publish_stats_dict
+    from .obs.prom import prometheus_text
+
+    if coordinator is not None:
+        collect = lambda: prometheus_text(coordinator.merged_registry())
+    else:
+
+        def collect():
+            registry = MetricsRegistry()
+            registry.merge_snapshot(
+                get_metrics().snapshot(), exclude_prefixes=("eval.",)
+            )
+            if engine is not None:
+                publish_stats_dict(registry, engine.stats.as_dict())
+            return prometheus_text(registry)
+
+    server = MetricsHTTPServer(collect=collect, port=port).start()
+    print(f"metrics: serving {server.url}", file=sys.stderr)
+    return server
+
+
+def _stop_metrics_server(server) -> None:
+    if server is not None:
+        server.stop()
 
 
 def _env_float(name: str, default: Optional[float] = None) -> Optional[float]:
@@ -403,6 +450,9 @@ def cmd_optimize(args) -> int:
     coordinator = _open_coordinator(args, device, engine, journal)
     if coordinator is not None:
         journal = coordinator.journal
+        if getattr(args, "trace", None):
+            args._stitch_root = coordinator.paths.root
+    server = _start_metrics_server(args, coordinator, engine=engine)
     log = _open_search_log(args, engine, device)
     try:
         outcome = optimize(
@@ -420,6 +470,7 @@ def cmd_optimize(args) -> int:
         # The coordinator's final drain appends to the merged journal,
         # so it must shut down before the journal closes.
         _finish_coordinator(coordinator)
+        _stop_metrics_server(server)
         if journal is not None:
             journal.close()
         _close_search_log(args, log)
@@ -538,6 +589,9 @@ def cmd_deep_tune(args) -> int:
     coordinator = _open_coordinator(args, device, engine, journal)
     if coordinator is not None:
         journal = coordinator.journal
+        if getattr(args, "trace", None):
+            args._stitch_root = coordinator.paths.root
+    server = _start_metrics_server(args, coordinator, engine=engine)
     try:
         result = deep_tune(
             ir,
@@ -547,6 +601,7 @@ def cmd_deep_tune(args) -> int:
         )
     finally:
         _finish_coordinator(coordinator)
+        _stop_metrics_server(server)
         if journal is not None:
             journal.close()
     if result.eval_stats is not None:
@@ -587,6 +642,16 @@ def cmd_shard_status(args) -> int:
     else:
         print(format_status(info))
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live per-worker view of a distributed run (``repro top DIR``)."""
+    from .distrib import run_top
+
+    try:
+        return run_top(args.dir, interval_s=args.interval, once=args.once)
+    except FileNotFoundError as exc:
+        raise UsageError(str(exc)) from None
 
 
 def cmd_report(args) -> int:
@@ -869,6 +934,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         return p
 
+    def add_metrics_port_flag(p):
+        p.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="serve live Prometheus metrics on 127.0.0.1:PORT "
+                 "(/metrics and /healthz) for the run's duration; "
+                 "0 picks an ephemeral port. Implies metrics collection",
+        )
+        return p
+
     p = add_common(sub.add_parser("optimize", help="run the full flow"))
     p.add_argument("-T", "--iterations", type=int, default=None,
                    help="time-iteration count for iterative stencils")
@@ -892,6 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience_flags(p)
     add_distrib_flags(p)
     add_obs_flags(p)
+    add_metrics_port_flag(p)
     p.set_defaults(func=cmd_optimize)
 
     p = add_common(sub.add_parser("cuda", help="emit the baseline CUDA"))
@@ -923,6 +998,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience_flags(p)
     add_distrib_flags(p)
     add_obs_flags(p)
+    add_metrics_port_flag(p)
     p.set_defaults(func=cmd_deep_tune)
 
     p = sub.add_parser(
@@ -935,6 +1011,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full shard/lease/journal snapshot as JSON",
     )
     p.set_defaults(func=cmd_shard_status)
+
+    p = sub.add_parser(
+        "top",
+        help="live per-worker view of a distributed run (htop-style)",
+    )
+    p.add_argument("dir", help="the --distrib-dir of a distributed run")
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (automatic when stdout is "
+             "not a terminal)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "report", help="render a search log as a standalone HTML report"

@@ -20,7 +20,8 @@ knobs.
 from .coordinator import DistribStats, DistributedCoordinator, KillPolicy
 from .files import DistribPaths, JournalTailReader
 from .shards import Shard, partition, shard_index
-from .status import format_status, scan_status
+from .status import format_status, iso_ts, scan_status
+from .top import build_top_model, render_top, run_top
 from .tuner import DistributedTuner
 from .worker import WorkerConfig, stats_from_dict, stats_to_dict, worker_main
 
@@ -33,8 +34,12 @@ __all__ = [
     "KillPolicy",
     "Shard",
     "WorkerConfig",
+    "build_top_model",
     "format_status",
+    "iso_ts",
     "partition",
+    "render_top",
+    "run_top",
     "scan_status",
     "shard_index",
     "stats_from_dict",

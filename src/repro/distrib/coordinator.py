@@ -38,7 +38,8 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from ..codegen.plan import KernelPlan
 from ..gpu.device import DeviceSpec, P100
 from ..obs import counter as _counter, metrics_enabled as _metrics_enabled
-from ..obs import span as _span
+from ..obs import span as _span, tracing_enabled as _tracing_enabled
+from ..obs.metrics import MetricsRegistry
 from ..resilience.checkpoint import (
     TuningJournal,
     plan_from_dict,
@@ -128,6 +129,7 @@ class DistributedCoordinator:
         partition_claims: bool = False,
         kill: Optional[KillPolicy] = None,
         deadline_s: float = 300.0,
+        flush_s: float = 0.5,
     ):
         if workers < 1:
             raise UsageError("--distributed requires at least 1 worker")
@@ -148,6 +150,7 @@ class DistributedCoordinator:
         self.partition_claims = partition_claims
         self.kill = kill
         self.deadline_s = deadline_s
+        self.flush_s = flush_s
         self.stats = DistribStats()
         self.generation = 0
         self._owns_journal = journal is None
@@ -171,6 +174,8 @@ class DistributedCoordinator:
                 "lease_ttl": lease_ttl,
                 "shards_per_worker": shards_per_worker,
                 "merged": self.journal.path,
+                "flush_s": flush_s,
+                "created_ts": time.time(),
             },
         )
 
@@ -227,6 +232,9 @@ class DistributedCoordinator:
                 claim_residue=(
                     (worker_id, self.workers) if self.partition_claims else None
                 ),
+                metrics=_metrics_enabled(),
+                trace=_tracing_enabled(),
+                flush_s=self.flush_s,
             )
             process = ctx.Process(
                 target=worker_main,
@@ -459,6 +467,45 @@ class DistributedCoordinator:
             self.stats.takeovers += 1
             self._bump("distrib.takeovers")
 
+    # -- run-level observability ------------------------------------------------
+
+    def merged_registry(self) -> MetricsRegistry:
+        """One registry describing the whole run, dedup-aware.
+
+        Folds every worker snapshot plus the coordinator's own process
+        registry — *excluding* their raw ``eval.*`` series, which
+        double-count stolen shards — then projects the coordinator's
+        deduplicated merge billing (``engine.stats``) in as the
+        run-level ``eval.*`` truth.  Result: ``eval.requests`` here
+        equals what a single-process run would report, even after a
+        SIGKILL-and-steal.
+        """
+        from ..obs import metrics_enabled, get_metrics
+        from ..obs.live import load_snapshots, merge_snapshots, publish_stats_dict
+
+        registry = merge_snapshots(
+            load_snapshots(self.paths.obs_dir),
+            exclude_prefixes=("eval.",),
+        )
+        if metrics_enabled():
+            registry.merge_snapshot(
+                get_metrics().snapshot(), exclude_prefixes=("eval.",)
+            )
+        if self.engine is not None:
+            publish_stats_dict(registry, self.engine.stats.as_dict())
+        return registry
+
+    def write_merged_snapshot(self) -> Optional[str]:
+        """Publish the merged run-level registry atomically; returns path."""
+        from ..obs.live import build_snapshot, write_snapshot
+
+        snapshot = build_snapshot(
+            worker=-1, registry=self.merged_registry(), seq=self.stats.batches
+        )
+        path = self.paths.merged_metrics_path
+        write_snapshot(path, snapshot)
+        return path
+
     # -- lifecycle --------------------------------------------------------------
 
     def _bump(self, name: str, amount: int = 1) -> None:
@@ -481,6 +528,11 @@ class DistributedCoordinator:
         # may have journaled duplicates right before exiting — fold them
         # in so dedup accounting is complete.
         self._merge_step()
+        if _metrics_enabled():
+            try:
+                self.write_merged_snapshot()
+            except OSError:  # pragma: no cover - observation never kills
+                pass
         if self._owns_journal:
             self.journal.close()
 

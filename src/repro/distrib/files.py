@@ -23,6 +23,8 @@ Layout under the root directory::
     leases/<sid>.json     live ownership records (heartbeat timestamps)
     done/<sid>.json       completion markers
     journals/worker-N.jsonl  per-worker result journals
+    obs/worker-NN.metrics.json  atomic live metric/span snapshots
+    obs/merged.metrics.json     coordinator-merged run-level registry
     merged.jsonl          the crash-safe merge target (default path)
     stop                  sentinel: workers drain and exit
 """
@@ -79,6 +81,10 @@ class DistribPaths:
         return os.path.join(self.root, "journals")
 
     @property
+    def obs_dir(self) -> str:
+        return os.path.join(self.root, "obs")
+
+    @property
     def stop_path(self) -> str:
         return os.path.join(self.root, "stop")
 
@@ -94,6 +100,7 @@ class DistribPaths:
             self.leases_dir,
             self.done_dir,
             self.journals_dir,
+            self.obs_dir,
         ):
             os.makedirs(directory, exist_ok=True)
         return self
@@ -114,6 +121,13 @@ class DistribPaths:
 
     def worker_journal_path(self, worker: int) -> str:
         return os.path.join(self.journals_dir, f"worker-{worker:02d}.jsonl")
+
+    def worker_metrics_path(self, worker: int) -> str:
+        return os.path.join(self.obs_dir, f"worker-{worker:02d}.metrics.json")
+
+    @property
+    def merged_metrics_path(self) -> str:
+        return os.path.join(self.obs_dir, "merged.metrics.json")
 
     # -- IR blobs ---------------------------------------------------------------
 

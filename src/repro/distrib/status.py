@@ -8,22 +8,65 @@ from __future__ import annotations
 
 import os
 import time
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional
 
 from .files import DistribPaths, JournalTailReader, lease_expired, read_json
 
-__all__ = ["format_status", "scan_status"]
+__all__ = ["format_status", "iso_ts", "scan_status"]
+
+
+def iso_ts(ts: Optional[float]) -> Optional[str]:
+    """Epoch seconds → absolute ISO-8601 UTC string (None passes through)."""
+    if ts is None:
+        return None
+    return (
+        datetime.fromtimestamp(float(ts), tz=timezone.utc)
+        .isoformat(timespec="seconds")
+        .replace("+00:00", "Z")
+    )
+
+
+def _initializing(
+    paths: DistribPaths, root: str, config: Dict[str, Any], now: float
+) -> Dict[str, Any]:
+    """Snapshot for a run directory mid-startup (no tasks/ yet).
+
+    A coordinator creates its root, writes config.json and only then
+    publishes shards; ``repro top`` polls that window.  An existing root
+    is therefore a run being born, not a usage error.
+    """
+    return {
+        "root": os.path.abspath(root),
+        "state": "initializing",
+        "scanned_ts": now,
+        "scanned_iso": iso_ts(now),
+        "config": config,
+        "stopping": paths.stop_requested(),
+        "shards": [],
+        "totals": {
+            "shards": 0,
+            "pending": 0,
+            "leased": 0,
+            "expired": 0,
+            "done": 0,
+        },
+        "journals": [],
+        "merged_records": 0,
+    }
 
 
 def scan_status(root: str, now: Optional[float] = None) -> Dict[str, Any]:
     """Structured snapshot of one distributed-run directory."""
     now = time.time() if now is None else now
     paths = DistribPaths(root)
-    if not os.path.isdir(paths.tasks_dir):
+    if not os.path.isdir(root):
         raise FileNotFoundError(
-            f"{root} is not a distributed-run directory (no tasks/)"
+            f"{root} is not a distributed-run directory (no such directory)"
         )
     config = read_json(paths.config_path) or {}
+    if not os.path.isdir(paths.tasks_dir):
+        return _initializing(paths, root, config, now)
     ttl = float(config.get("lease_ttl", 2.0))
     shards: List[Dict[str, Any]] = []
     for sid in paths.task_ids():
@@ -45,6 +88,8 @@ def scan_status(root: str, now: Optional[float] = None) -> Dict[str, Any]:
             "worker": None,
             "generation": None,
             "hb_age_s": None,
+            "hb_iso": None,
+            "completed_iso": None,
             "stolen_from": None,
         }
         record = done or lease
@@ -52,8 +97,12 @@ def scan_status(root: str, now: Optional[float] = None) -> Dict[str, Any]:
             entry["worker"] = record.get("worker")
             entry["generation"] = record.get("generation")
             entry["stolen_from"] = (lease or {}).get("stolen_from")
+        if done is not None:
+            entry["completed_iso"] = iso_ts(done.get("completed_ts"))
         if lease is not None and done is None:
-            entry["hb_age_s"] = round(now - float(lease.get("hb_ts", now)), 3)
+            hb_ts = float(lease.get("hb_ts", now))
+            entry["hb_age_s"] = round(now - hb_ts, 3)
+            entry["hb_iso"] = iso_ts(hb_ts)
         shards.append(entry)
     journals: List[Dict[str, Any]] = []
     try:
@@ -79,10 +128,15 @@ def scan_status(root: str, now: Optional[float] = None) -> Dict[str, Any]:
             if record.get("kind") != "header"
         )
     states = [entry["state"] for entry in shards]
+    stopping = paths.stop_requested()
     return {
         "root": os.path.abspath(root),
+        "state": "stopping" if stopping else "running",
+        "scanned_ts": now,
+        "scanned_iso": iso_ts(now),
+        "created_iso": iso_ts(config.get("created_ts")),
         "config": config,
-        "stopping": paths.stop_requested(),
+        "stopping": stopping,
         "shards": shards,
         "totals": {
             "shards": len(shards),
@@ -102,6 +156,8 @@ def format_status(info: Dict[str, Any]) -> str:
     config = info["config"]
     totals = info["totals"]
     lines.append(f"distributed run: {info['root']}")
+    if info.get("state") == "initializing":
+        lines.append("  initializing (no shards published yet)")
     if config:
         lines.append(
             f"  device={config.get('device')} workers={config.get('workers')} "

@@ -1,0 +1,210 @@
+"""Live terminal observatory for a distributed run (``repro top``).
+
+Polls a run directory the same way ``shard-status`` does — atomic
+artifacts and complete journal lines only — plus the workers' live
+metric snapshots under ``obs/``, and renders one screenful: per-worker
+shard ownership, lease generation (steal count rides on it), eval
+throughput, cache-hit rate and an ETA extrapolated from shard
+completion.  Reads only; never mutates the run.
+
+On a TTY the view refreshes in place (ANSI home+clear-to-end); when
+stdout is redirected it degrades to a single plain snapshot, so
+``repro top --once`` and cron-style captures need no terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..obs.live import DEFAULT_FLUSH_S, load_snapshots
+from .files import DistribPaths
+from .status import scan_status
+
+__all__ = ["build_top_model", "render_top", "run_top"]
+
+#: A worker whose snapshot is older than this many flush intervals is
+#: presumed dead (SIGKILLed workers stop flushing but never say so).
+_STALE_FLUSHES = 6.0
+
+
+def _metric_value(metrics: Dict[str, Any], name: str) -> float:
+    data = metrics.get(name) or {}
+    try:
+        return float(data.get("value", 0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def build_top_model(
+    root: str,
+    now: Optional[float] = None,
+    prev: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Everything one ``repro top`` frame shows, as a JSON-able dict.
+
+    ``prev`` — the previous frame's model — turns cumulative request
+    counters into instantaneous rates between polls; without it the
+    rate is the lifetime average from the snapshot's own clock.
+    """
+    now = time.time() if now is None else now
+    status = scan_status(root, now)
+    paths = DistribPaths(root)
+    snapshots = load_snapshots(paths.obs_dir)
+    flush_s = float(status["config"].get("flush_s", DEFAULT_FLUSH_S))
+    stale_s = max(_STALE_FLUSHES * flush_s, 2.0)
+
+    shards_by_worker: Dict[int, List[Dict[str, Any]]] = {}
+    steals = 0
+    for entry in status["shards"]:
+        if entry.get("stolen_from") is not None:
+            steals += 1
+        wid = entry.get("worker")
+        if wid is not None and entry["state"] in ("leased", "expired"):
+            shards_by_worker.setdefault(wid, []).append(entry)
+
+    prev_by_worker = {
+        w["worker"]: w for w in (prev or {}).get("workers", ())
+    }
+    workers: List[Dict[str, Any]] = []
+    for snap in snapshots:
+        wid = int(snap.get("worker", -1))
+        metrics = snap.get("metrics", {})
+        requests = _metric_value(metrics, "eval.requests")
+        hits = _metric_value(metrics, "eval.hits")
+        ts = float(snap.get("ts", now))
+        elapsed = max(ts - float(snap.get("started_ts", ts)), 1e-9)
+        rate = requests / elapsed
+        before = prev_by_worker.get(wid)
+        if before is not None and ts > float(before.get("snapshot_ts", ts)):
+            dt = ts - float(before["snapshot_ts"])
+            rate = max(0.0, (requests - float(before["requests"])) / dt)
+        owned = shards_by_worker.get(wid, [])
+        current = owned[0] if owned else {}
+        workers.append(
+            {
+                "worker": wid,
+                "pid": snap.get("pid"),
+                "alive": (now - ts) <= stale_s,
+                "snapshot_ts": ts,
+                "snapshot_age_s": round(now - ts, 3),
+                "requests": requests,
+                "hits": hits,
+                "hit_rate": (hits / requests) if requests else 0.0,
+                "rate": rate,
+                "shard": current.get("shard"),
+                "shard_state": current.get("state"),
+                "generation": current.get("generation"),
+            }
+        )
+
+    totals = status["totals"]
+    eta_s: Optional[float] = None
+    created = status["config"].get("created_ts")
+    if created is not None and totals["done"]:
+        elapsed_run = max(now - float(created), 1e-9)
+        remaining = totals["shards"] - totals["done"]
+        eta_s = elapsed_run * remaining / totals["done"]
+    return {
+        "root": status["root"],
+        "state": status.get("state", "running"),
+        "scanned_ts": now,
+        "config": status["config"],
+        "totals": totals,
+        "steals": steals,
+        "merged_records": status["merged_records"],
+        "workers": workers,
+        "eta_s": eta_s,
+    }
+
+
+def _fmt_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "-"
+    eta_s = max(0.0, eta_s)
+    if eta_s >= 3600:
+        return f"{eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.1f}s"
+
+
+def render_top(model: Dict[str, Any]) -> str:
+    """One frame of the observatory as plain text."""
+    lines: List[str] = []
+    totals = model["totals"]
+    config = model["config"]
+    lines.append(
+        f"repro top — {model['root']}  [{model['state']}]"
+    )
+    lines.append(
+        f"  workers={config.get('workers', '?')} "
+        f"device={config.get('device', '?')} "
+        f"lease_ttl={config.get('lease_ttl', '?')}s"
+    )
+    lines.append(
+        f"  shards: {totals['done']}/{totals['shards']} done, "
+        f"{totals['leased']} leased, {totals['expired']} expired, "
+        f"{totals['pending']} pending — steals={model['steals']} "
+        f"merged={model['merged_records']} eta={_fmt_eta(model['eta_s'])}"
+    )
+    lines.append(
+        f"  {'worker':>6s} {'pid':>7s} {'state':5s} {'shard':14s} "
+        f"{'gen':>3s} {'evals':>7s} {'ev/s':>7s} {'hit%':>6s} {'age':>6s}"
+    )
+    for worker in model["workers"]:
+        shard = worker["shard"] or "-"
+        state = "live" if worker["alive"] else "stale"
+        generation = (
+            "-" if worker["generation"] is None else str(worker["generation"])
+        )
+        lines.append(
+            f"  {worker['worker']:>6d} "
+            f"{worker['pid'] if worker['pid'] is not None else '-':>7} "
+            f"{state:5s} {shard:14s} {generation:>3s} "
+            f"{int(worker['requests']):>7d} {worker['rate']:>7.1f} "
+            f"{100.0 * worker['hit_rate']:>5.1f}% "
+            f"{worker['snapshot_age_s']:>5.1f}s"
+        )
+    if not model["workers"]:
+        lines.append("  (no worker snapshots yet — run without --metrics?)")
+    return "\n".join(lines)
+
+
+def run_top(
+    root: str,
+    interval_s: float = 1.0,
+    once: bool = False,
+    out: Optional[TextIO] = None,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Poll-and-render loop; returns a process exit code.
+
+    ``max_frames`` is a test hook bounding the loop; interactively the
+    loop runs until Ctrl-C.  A non-TTY ``out`` forces one-shot mode so
+    redirected output is a single clean snapshot, not an ANSI stream.
+    """
+    out = out if out is not None else sys.stdout
+    interactive = not once and getattr(out, "isatty", lambda: False)()
+    model: Optional[Dict[str, Any]] = None
+    frames = 0
+    try:
+        while True:
+            model = build_top_model(root, prev=model)
+            frame = render_top(model)
+            if interactive:
+                # Home the cursor and clear to end-of-screen: the frame
+                # repaints in place instead of scrolling.
+                out.write("\x1b[H\x1b[J" + frame + "\n")
+            else:
+                out.write(frame + "\n")
+            out.flush()
+            frames += 1
+            if not interactive:
+                return 0
+            if max_frames is not None and frames >= max_frames:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0

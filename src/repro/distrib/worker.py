@@ -74,6 +74,14 @@ class WorkerConfig:
     #: how tests route a specific shard to the straggler and let any
     #: healthy worker steal it back.
     claim_residue: Optional[Tuple[int, int]] = None
+    #: live observability: when set, the worker enables its own metrics
+    #: registry (and tracer, for ``trace``) and flushes an atomic
+    #: snapshot to ``obs/worker-NN.metrics.json`` every ``flush_s``
+    #: seconds — the feed for ``repro top``, the ``/metrics`` endpoint
+    #: and the stitched multi-worker trace.
+    metrics: bool = False
+    trace: bool = False
+    flush_s: float = 0.5
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -127,6 +135,44 @@ class _Worker:
         self._ir_cache: Dict[str, Any] = {}
         self._heartbeat_s = config.heartbeat_s or config.lease_ttl / 3.0
         self._last_renew = 0.0
+        self.flusher = self._build_flusher() if config.metrics else None
+
+    # -- live observability ------------------------------------------------------
+
+    def _build_flusher(self):
+        """Arm this process's metrics registry and snapshot flusher.
+
+        The worker is its own process (fork or spawn), so enabling the
+        globals here perturbs nobody else.  ``_publish_stats_delta``
+        runs before each flush: it mirrors the engine's EvalStats
+        *growth since the previous flush* into the registry, keeping
+        the snapshot's cumulative ``eval.*`` counters exact without
+        double-adding — the same delta discipline journal records use.
+        """
+        from ..obs import configure_metrics, configure_tracing, get_metrics
+        from ..obs.live import SnapshotFlusher
+
+        configure_metrics(True, reset=True)
+        if self.config.trace:
+            configure_tracing(True, clear=True)
+        self._published = self.engine.stats.snapshot()
+        registry = get_metrics()
+
+        def _publish_stats_delta() -> None:
+            current = self.engine.stats.snapshot()
+            delta = current.since(self._published)
+            self._published = current
+            from ..obs.live import publish_stats_dict
+
+            publish_stats_dict(registry, delta.as_dict())
+
+        return SnapshotFlusher(
+            self.paths.worker_metrics_path(self.config.worker_id),
+            worker=self.config.worker_id,
+            interval_s=self.config.flush_s,
+            include_spans=self.config.trace,
+            collect=_publish_stats_delta,
+        ).start()
 
     # -- shard selection --------------------------------------------------------
 
@@ -271,6 +317,11 @@ class _Worker:
                 shard, lease = claimed
                 self._process(shard, lease)
         finally:
+            if self.flusher is not None:
+                # Final flush: a cleanly draining worker leaves exact
+                # totals; a SIGKILLed one never reaches here and leaves
+                # its last periodic snapshot instead.
+                self.flusher.stop(final_flush=True)
             self.journal.close()
 
 

@@ -1,0 +1,285 @@
+"""Live observability: periodic per-process metric/span snapshots.
+
+PR 8's distributed runs fork N workers whose metrics registries and
+span traces die with them — post-mortem, only the EvalStats deltas that
+rode along on journal records survive.  This module closes that gap:
+
+* each worker runs a :class:`SnapshotFlusher` that periodically
+  serializes its registry (and, when tracing, its finished + *open*
+  spans) to one atomic JSON file, ``obs/worker-NN.metrics.json``;
+* the coordinator (or any observer: ``repro top``, the ``/metrics``
+  endpoint, the trace stitcher) reads whatever complete snapshots exist
+  and folds them with :func:`merge_snapshots` — counters summed, gauges
+  last-writer-wins by timestamp, histograms bucket-merged.
+
+Because every flush goes through ``repro.resilience.atomic`` a reader
+can never observe a torn snapshot: a SIGKILLed worker leaves its last
+complete flush, which still merges and still renders.
+
+Clock discipline: span timestamps are ``time.perf_counter`` values,
+whose epoch is not guaranteed comparable across processes.  Every
+snapshot therefore carries a ``(wall_ts, perf_s)`` anchor sampled
+together at flush time; :func:`span_wall_ts` maps any span timestamp
+into shared wall-clock time, which is what lets the trace stitcher lay
+workers on one timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..resilience.atomic import atomic_write_json
+from .metrics import MetricsRegistry, get_metrics
+from .tracer import Span, Tracer, get_tracer
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotFlusher",
+    "build_snapshot",
+    "load_snapshots",
+    "merge_snapshots",
+    "publish_stats_dict",
+    "snapshot_path",
+    "span_wall_ts",
+    "write_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+
+#: Default cadence between periodic flushes.  Half a second keeps
+#: ``repro top`` and ``/metrics`` fresh without measurable cost: a
+#: flush serializes a few KB of JSON off the hot path.
+DEFAULT_FLUSH_S = 0.5
+
+
+def snapshot_path(obs_dir: str, worker: int) -> str:
+    """Canonical snapshot file for one worker under an ``obs/`` dir."""
+    return os.path.join(obs_dir, f"worker-{worker:02d}.metrics.json")
+
+
+def _span_to_dict(item: Span, open_span: bool = False) -> Dict[str, Any]:
+    data = {
+        "name": item.name,
+        "span_id": item.span_id,
+        "parent_id": item.parent_id,
+        "thread_id": item.thread_id,
+        "thread_name": item.thread_name,
+        "depth": item.depth,
+        "start_s": item.start_s,
+        "end_s": None if open_span else item.end_s,
+        "attributes": dict(item.attributes),
+    }
+    return data
+
+
+def build_snapshot(
+    worker: int,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    seq: int = 0,
+    started_ts: Optional[float] = None,
+    include_spans: bool = False,
+) -> Dict[str, Any]:
+    """One process's observable state as a plain JSON document.
+
+    ``include_spans`` adds the tracer's finished and open spans (the
+    raw material of the stitched multi-worker chrome trace); metrics
+    ride along always.
+    """
+    registry = registry if registry is not None else get_metrics()
+    now_wall = time.time()
+    now_perf = time.perf_counter()
+    snapshot: Dict[str, Any] = {
+        "version": SNAPSHOT_VERSION,
+        "worker": worker,
+        "pid": os.getpid(),
+        "seq": seq,
+        "started_ts": started_ts if started_ts is not None else now_wall,
+        "ts": now_wall,
+        "anchor": {"wall_ts": now_wall, "perf_s": now_perf},
+        "metrics": registry.snapshot(),
+    }
+    if include_spans:
+        tracer = tracer if tracer is not None else get_tracer()
+        snapshot["spans"] = [_span_to_dict(s) for s in tracer.finished()]
+        snapshot["open_spans"] = [
+            _span_to_dict(s, open_span=True) for s in tracer.open_spans()
+        ]
+    return snapshot
+
+
+def write_snapshot(path: str, snapshot: Dict[str, Any]) -> None:
+    """Atomically publish a snapshot (write-tmp-then-rename)."""
+    atomic_write_json(path, snapshot)
+
+
+def span_wall_ts(span_start_s: float, anchor: Dict[str, Any]) -> float:
+    """Map a ``perf_counter`` span timestamp to wall-clock seconds."""
+    return (
+        float(span_start_s)
+        - float(anchor.get("perf_s", 0.0))
+        + float(anchor.get("wall_ts", 0.0))
+    )
+
+
+def load_snapshots(obs_dir: str) -> List[Dict[str, Any]]:
+    """All worker snapshots under ``obs_dir``, sorted by worker id.
+
+    Unreadable or foreign files are skipped: a live run's directory is
+    read mid-flight, and the atomic writer guarantees any *existing*
+    ``*.metrics.json`` is complete.
+    """
+    import json
+
+    try:
+        names = sorted(os.listdir(obs_dir))
+    except OSError:
+        return []
+    snapshots = []
+    for name in names:
+        # Only per-worker snapshots: the coordinator's merged snapshot
+        # (``merged.metrics.json``) lives in the same directory and must
+        # not be folded back into itself.
+        if not (name.startswith("worker-") and name.endswith(".metrics.json")):
+            continue
+        try:
+            with open(os.path.join(obs_dir, name), "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, dict) and "metrics" in data:
+            snapshots.append(data)
+    snapshots.sort(key=lambda s: (s.get("worker", 0), s.get("seq", 0)))
+    return snapshots
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+    registry: Optional[MetricsRegistry] = None,
+    exclude_prefixes: Sequence[str] = (),
+) -> MetricsRegistry:
+    """Fold worker snapshots into one registry.
+
+    Counters sum, gauges last-writer-wins by timestamp, histograms
+    bucket-merge — commutative and associative, so the fold order never
+    changes the result (Hypothesis-verified in
+    ``tests/obs/test_live.py``).  Pass ``registry`` to fold on top of
+    an existing one (the coordinator folds onto its own process
+    registry); by default a fresh registry is returned.
+    """
+    merged = registry if registry is not None else MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(
+            snapshot.get("metrics", {}), exclude_prefixes=exclude_prefixes
+        )
+    return merged
+
+
+def publish_stats_dict(
+    registry: MetricsRegistry,
+    stats: Dict[str, Any],
+    prefix: str = "eval",
+) -> None:
+    """Publish an ``EvalStats.as_dict()`` into an explicit registry.
+
+    Unlike :meth:`EvalStats.publish` this bypasses the global
+    enabled-flag (the caller already owns the registry) — it is the
+    set-style billing path the coordinator uses to project its
+    *deduplicated* evaluation stats into the merged run-level registry.
+    """
+    for name, value in stats.items():
+        if name in ("wall_s", "cpu_s"):
+            if value:
+                registry.histogram(f"{prefix}.{name}").observe(value)
+        elif value >= 0:  # deltas of derived stats can transiently dip
+            registry.counter(f"{prefix}.{name}").add(value)
+
+
+class SnapshotFlusher:
+    """Periodic snapshot writer on a daemon thread.
+
+    ``collect`` (optional) runs right before each flush — the worker
+    uses it to publish its evaluation-engine stats *delta* into its
+    registry, so cumulative counters stay exact across flushes.
+    :meth:`stop` performs one final flush, so a cleanly exiting process
+    always leaves its complete totals behind; a SIGKILLed one leaves
+    its last periodic flush (at most ``interval_s`` stale).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        worker: int,
+        interval_s: float = DEFAULT_FLUSH_S,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        include_spans: bool = False,
+        collect: Optional[Callable[[], None]] = None,
+    ):
+        self.path = path
+        self.worker = worker
+        self.interval_s = max(0.05, float(interval_s))
+        self._registry = registry
+        self._tracer = tracer
+        self._include_spans = include_spans
+        self._collect = collect
+        self._seq = 0
+        self._started_ts = time.time()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def flush(self) -> Dict[str, Any]:
+        """Collect and atomically write one snapshot; returns it."""
+        with self._lock:
+            if self._collect is not None:
+                self._collect()
+            self._seq += 1
+            snapshot = build_snapshot(
+                self.worker,
+                registry=self._registry,
+                tracer=self._tracer,
+                seq=self._seq,
+                started_ts=self._started_ts,
+                include_spans=self._include_spans,
+            )
+            write_snapshot(self.path, snapshot)
+            return snapshot
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.flush()
+            except Exception:  # pragma: no cover - observation never kills
+                pass
+
+    def start(self) -> "SnapshotFlusher":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run,
+                name=f"repro-obs-flush-{self.worker}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, final_flush: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if final_flush:
+            try:
+                self.flush()
+            except Exception:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SnapshotFlusher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -13,6 +13,13 @@ flag check.  All metric types are thread-safe (one lock per metric;
 increments from ``evaluate_batch`` worker threads are exact, not
 last-writer-wins).
 
+Snapshots (``as_dict``/``MetricsRegistry.snapshot``) are plain JSON
+and *mergeable*: :meth:`MetricsRegistry.merge_snapshot` folds another
+process's snapshot into this registry — counters summed, gauges
+last-writer-wins by timestamp, histograms bucket-merged — which is how
+the distributed coordinator assembles one run-level registry from the
+per-worker snapshot files (:mod:`repro.obs.live`).
+
 API::
 
     from repro.obs import counter, gauge, histogram, metrics_enabled
@@ -25,11 +32,14 @@ API::
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, List, Optional, Union
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -42,6 +52,16 @@ __all__ = [
 ]
 
 Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (``le``, inclusive), log-spaced
+#: to cover everything the pipeline observes in one ladder: microsecond
+#: simulator calls up to multi-minute tuning walls.  A final implicit
+#: +Inf bucket catches the overflow.  Shared bounds are what make
+#: cross-process bucket-merging exact.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
 
 
 class Counter:
@@ -67,44 +87,72 @@ class Counter:
     def as_dict(self) -> Dict[str, Number]:
         return {"type": "counter", "value": self._value}
 
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold another process's snapshot of this counter: values sum."""
+        self.add(data.get("value", 0))
+
 
 class Gauge:
-    """Last-set point-in-time value."""
+    """Last-set point-in-time value.
 
-    __slots__ = ("name", "_value", "_lock")
+    Each write records a wall-clock timestamp so cross-process merges
+    can apply last-writer-wins semantics deterministically.
+    """
+
+    __slots__ = ("name", "_value", "_ts", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self._value: Number = 0
+        self._ts: float = 0.0
         self._lock = threading.Lock()
 
-    def set(self, value: Number) -> None:
+    def set(self, value: Number, ts: Optional[float] = None) -> None:
         with self._lock:
             self._value = value
+            self._ts = time.time() if ts is None else ts
 
     def add(self, amount: Number = 1) -> None:
         with self._lock:
             self._value += amount
+            self._ts = time.time()
 
     @property
     def value(self) -> Number:
         return self._value
 
     def as_dict(self) -> Dict[str, Number]:
-        return {"type": "gauge", "value": self._value}
+        return {"type": "gauge", "value": self._value, "ts": self._ts}
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold a snapshot of this gauge: the newest write wins."""
+        ts = float(data.get("ts", 0.0))
+        with self._lock:
+            if ts >= self._ts:
+                self._value = data.get("value", 0)
+                self._ts = ts
 
 
 class Histogram:
     """Streaming summary of observed values (count/sum/min/max/mean).
 
-    A fixed-size reservoir of the most recent observations rides along
-    so exports can show a coarse distribution without unbounded memory.
+    Observations are also folded into a fixed ladder of ``le`` buckets
+    (:data:`DEFAULT_BUCKETS` + an implicit +Inf overflow), which is what
+    makes histograms *mergeable across processes* (bucket counts sum)
+    and gives :meth:`quantile` its estimate.  A fixed-size reservoir of
+    the most recent observations rides along so exports can show a
+    coarse distribution without unbounded memory.
     """
 
     __slots__ = ("name", "_count", "_sum", "_min", "_max", "_recent",
-                 "_capacity", "_lock")
+                 "_capacity", "_bounds", "_buckets", "_lock")
 
-    def __init__(self, name: str, capacity: int = 64):
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 64,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ):
         self.name = name
         self._count = 0
         self._sum = 0.0
@@ -112,6 +160,8 @@ class Histogram:
         self._max: Optional[float] = None
         self._recent: List[float] = []
         self._capacity = capacity
+        self._bounds = tuple(sorted(bounds))
+        self._buckets = [0] * (len(self._bounds) + 1)  # last = +Inf
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
@@ -121,6 +171,9 @@ class Histogram:
             self._sum += value
             self._min = value if self._min is None else min(self._min, value)
             self._max = value if self._max is None else max(self._max, value)
+            # First bucket whose upper bound covers the value (le is
+            # inclusive, Prometheus-style); beyond the ladder -> +Inf.
+            self._buckets[bisect.bisect_left(self._bounds, value)] += 1
             if len(self._recent) >= self._capacity:
                 self._recent.pop(0)
             self._recent.append(value)
@@ -133,15 +186,116 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket ladder.
+
+        Linear interpolation inside the bucket that crosses the target
+        rank, clamped to the observed ``min``/``max`` — so the estimate
+        is exact at q=0/q=1 and never leaves the observed range.  An
+        empty histogram reports 0.0.
+        """
+        with self._lock:
+            return _bucket_quantile(
+                q, self._bounds, self._buckets, self._count,
+                self._min, self._max,
+            )
+
     def as_dict(self) -> Dict[str, Number]:
-        return {
-            "type": "histogram",
-            "count": self._count,
-            "sum": self._sum,
-            "min": self._min if self._min is not None else 0.0,
-            "max": self._max if self._max is not None else 0.0,
-            "mean": self.mean,
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._min is not None else 0.0,
+                "max": self._max if self._max is not None else 0.0,
+                "mean": self.mean,
+                "le": list(self._bounds),
+                "buckets": list(self._buckets),
+            }
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold a snapshot of this histogram: buckets merge bin-wise.
+
+        Both sides must share bucket bounds (every registry uses
+        :data:`DEFAULT_BUCKETS` unless explicitly built otherwise);
+        mismatched ladders cannot be merged exactly and raise.
+        """
+        bounds = tuple(data.get("le", ()))
+        buckets = data.get("buckets")
+        count = int(data.get("count", 0))
+        if count == 0:
+            return
+        with self._lock:
+            if bounds != self._bounds:
+                raise ValueError(
+                    f"histogram {self.name!r}: cannot merge snapshots with "
+                    f"different bucket bounds"
+                )
+            self._count += count
+            self._sum += float(data.get("sum", 0.0))
+            for side in ("min", "max"):
+                value = data.get(side)
+                if value is None:
+                    continue
+                mine = self._min if side == "min" else self._max
+                fold = min if side == "min" else max
+                merged = float(value) if mine is None else fold(
+                    mine, float(value)
+                )
+                if side == "min":
+                    self._min = merged
+                else:
+                    self._max = merged
+            if buckets is not None:
+                for index, extra in enumerate(buckets):
+                    self._buckets[index] += int(extra)
+
+    @staticmethod
+    def quantile_from_dict(data: Dict[str, Any], q: float) -> float:
+        """:meth:`quantile`, computed from an ``as_dict`` snapshot."""
+        count = int(data.get("count", 0))
+        return _bucket_quantile(
+            q,
+            tuple(data.get("le", ())),
+            data.get("buckets") or [],
+            count,
+            data.get("min") if count else None,
+            data.get("max") if count else None,
+        )
+
+
+def _bucket_quantile(
+    q: float,
+    bounds: Sequence[float],
+    buckets: Sequence[int],
+    count: int,
+    minimum: Optional[float],
+    maximum: Optional[float],
+) -> float:
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile q must be within [0, 1]")
+    if count == 0 or minimum is None or maximum is None:
+        return 0.0
+    if not buckets:
+        # Legacy snapshot without a ladder: best effort from the range.
+        return minimum + (maximum - minimum) * q
+    target = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(buckets):
+        if bucket_count == 0:
+            continue
+        lower = bounds[index - 1] if index > 0 else minimum
+        upper = bounds[index] if index < len(bounds) else maximum
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target:
+            lower = max(lower, minimum)
+            upper = min(upper, maximum)
+            if upper <= lower:
+                return max(minimum, min(maximum, upper))
+            fraction = (target - previous) / bucket_count
+            return max(minimum, min(maximum, lower + fraction * (upper - lower)))
+    return maximum
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -181,6 +335,40 @@ class MetricsRegistry:
         with self._lock:
             metrics = dict(self._metrics)
         return {name: metrics[name].as_dict() for name in sorted(metrics)}
+
+    def merge_snapshot(
+        self,
+        snapshot: Dict[str, Dict[str, Any]],
+        exclude_prefixes: Sequence[str] = (),
+    ) -> "MetricsRegistry":
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Merge semantics per type: **counters sum**, **gauges take the
+        newest write** (by recorded timestamp), **histograms merge
+        bucket-wise** (requiring identical bucket ladders).  The fold is
+        commutative and associative, so the distributed coordinator can
+        absorb worker snapshots in any order and any number of times —
+        as long as each snapshot is folded once.
+
+        ``exclude_prefixes`` skips metric families the caller bills
+        through a deduplicating channel instead (e.g. ``eval.`` in the
+        distributed merge, where raw per-worker counts would re-bill
+        stolen shards).
+        """
+        getters = {
+            "counter": self.counter,
+            "gauge": self.gauge,
+            "histogram": self.histogram,
+        }
+        for name in sorted(snapshot):
+            if any(name.startswith(prefix) for prefix in exclude_prefixes):
+                continue
+            data = snapshot[name]
+            getter = getters.get(data.get("type"))
+            if getter is None:
+                continue  # unknown type: skip rather than corrupt
+            getter(name).merge_dict(data)
+        return self
 
     def reset(self) -> None:
         with self._lock:

@@ -83,6 +83,7 @@ class Tracer:
         self.max_spans = max_spans
         self.dropped = 0
         self._finished: List[Span] = []
+        self._open: Dict[int, Span] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -138,8 +139,13 @@ class Tracer:
         if current is not None:
             current.attributes.update(attributes)
 
+    def _opened(self, item: Span) -> None:
+        with self._lock:
+            self._open[item.span_id] = item
+
     def _finish(self, item: Span) -> None:
         with self._lock:
+            self._open.pop(item.span_id, None)
             if len(self._finished) >= self.max_spans:
                 self.dropped += 1
                 return
@@ -152,9 +158,22 @@ class Tracer:
         with self._lock:
             return tuple(self._finished)
 
+    def open_spans(self) -> Tuple[Span, ...]:
+        """Currently-open spans across *all* threads, oldest first.
+
+        This is what the live snapshot flusher serializes: a worker
+        SIGKILLed mid-evaluation leaves its last flushed open-span set
+        as the record of what it was doing when it died.
+        """
+        with self._lock:
+            return tuple(
+                sorted(self._open.values(), key=lambda s: s.span_id)
+            )
+
     def clear(self) -> None:
         with self._lock:
             self._finished.clear()
+            self._open.clear()
             self.dropped = 0
 
 
@@ -185,6 +204,7 @@ class _SpanContext:
             attributes=self._attributes,
         )
         stack.append(opened)
+        tracer._opened(opened)
         self._span = opened
         return opened
 

@@ -9,13 +9,26 @@ real suite kernels:
   shared engine's ``requests`` equals the single-process count exactly.
 """
 
+import contextlib
+import os
+
 import pytest
 
 from repro import suite
 from repro.codegen import seed_plan_from_pragma
 from repro.distrib import DistributedCoordinator, KillPolicy, scan_status
 from repro.gpu.device import get_device
+from repro.obs import configure_metrics
 from repro.tuning import PlanEvaluator, deep_tune
+
+
+@contextlib.contextmanager
+def _metrics_on():
+    configure_metrics(True, reset=True)
+    try:
+        yield
+    finally:
+        configure_metrics(False, reset=True)
 
 #: Chaos timing proven deterministic-enough in CI: the straggler sleeps
 #: 0.8 s after each journaled record while leases expire at 0.25 s, so
@@ -62,15 +75,17 @@ def _distributed_deep_tune(root, ir, workers, **coordinator_kwargs):
             ir, evaluator=engine, make_tuner=coordinator.make_tuner
         )
         stats = coordinator.stats
-    return result, engine, stats
+    return result, engine, stats, coordinator
 
 
 class TestBitIdenticalParity:
     def test_four_workers_match_single_process(self, reference, tmp_path):
         name, ir, single, single_stats = reference
-        result, engine, stats = _distributed_deep_tune(
-            tmp_path / "dist", ir, workers=4, lease_ttl=2.0, poll_s=0.02
-        )
+        with _metrics_on():
+            result, engine, stats, coordinator = _distributed_deep_tune(
+                tmp_path / "dist", ir, workers=4, lease_ttl=2.0, poll_s=0.02
+            )
+            merged = coordinator.merged_registry().snapshot()
         assert _entry_view(result) == _entry_view(single), name
         assert result.evaluations == single.evaluations
         # Identical billing: every candidate evaluated exactly once
@@ -79,22 +94,38 @@ class TestBitIdenticalParity:
         assert stats.records_merged > 0
         assert stats.shards_published > 0
         assert stats.batches > 0
+        # The run-level merged registry reports the same dedup-aware
+        # eval.requests as the single-process run (worker snapshots'
+        # raw eval.* — which would double-count steals — are excluded).
+        assert merged["eval.requests"]["value"] == single_stats.requests
+        # Cleanly drained workers left their final snapshots, and the
+        # coordinator published the merged run-level one.
+        obs_dir = coordinator.paths.obs_dir
+        names = sorted(os.listdir(obs_dir))
+        assert "merged.metrics.json" in names
+        assert sum(n.startswith("worker-") for n in names) == 4
 
     def test_sigkilled_worker_does_not_change_the_answer(
         self, reference, tmp_path
     ):
         name, ir, single, single_stats = reference
-        result, engine, stats = _distributed_deep_tune(
-            tmp_path / "dist",
-            ir,
-            workers=4,
-            kill=KillPolicy(victim=0, after_records=1),
-            **CHAOS,
-        )
+        with _metrics_on():
+            result, engine, stats, coordinator = _distributed_deep_tune(
+                tmp_path / "dist",
+                ir,
+                workers=4,
+                kill=KillPolicy(victim=0, after_records=1),
+                **CHAOS,
+            )
+            merged = coordinator.merged_registry().snapshot()
         assert stats.workers_killed == 1
         assert _entry_view(result) == _entry_view(single), name
         assert result.evaluations == single.evaluations
         assert engine.stats.requests == single_stats.requests
+        # Even with a SIGKILLed worker (whose partial snapshot may
+        # carry raw counts for a shard re-evaluated elsewhere), the
+        # merged registry's eval.requests stays dedup-exact.
+        assert merged["eval.requests"]["value"] == single_stats.requests
 
 
 class TestForcedSteal:
@@ -102,7 +133,7 @@ class TestForcedSteal:
         name, ir, single, single_stats = reference
         if name != "7pt-smoother":
             pytest.skip("one kernel exercises the steal path")
-        result, engine, stats = _distributed_deep_tune(
+        result, engine, stats, _ = _distributed_deep_tune(
             tmp_path / "dist", ir, workers=2, **CHAOS
         )
         # The straggler lost at least one shard mid-flight, and the
@@ -120,7 +151,7 @@ class TestForcedSteal:
         if name != "7pt-smoother":
             pytest.skip("one kernel exercises the status scan")
         root = tmp_path / "dist"
-        _, _, stats = _distributed_deep_tune(
+        _, _, stats, _ = _distributed_deep_tune(
             root, ir, workers=2, lease_ttl=2.0, poll_s=0.02
         )
         info = scan_status(str(root))

@@ -79,6 +79,50 @@ class TestScanStatus:
         with pytest.raises(FileNotFoundError):
             scan_status(str(tmp_path / "nowhere"))
 
+    def test_initializing_run_directory(self, tmp_path):
+        # The window where the coordinator has made the root (and maybe
+        # config.json) but not yet published tasks/: a snapshot, not an
+        # error — `repro top` polls exactly this moment.
+        atomic_write_json(
+            str(tmp_path / "config.json"), {"workers": 2}
+        )
+        info = scan_status(str(tmp_path))
+        assert info["state"] == "initializing"
+        assert info["shards"] == []
+        assert info["totals"]["shards"] == 0
+        assert info["config"]["workers"] == 2
+        assert "initializing" in format_status(info)
+
+    def test_bare_empty_directory_initializing(self, tmp_path):
+        info = scan_status(str(tmp_path))
+        assert info["state"] == "initializing"
+        assert info["config"] == {}
+
+    def test_iso_timestamps_alongside_relative_ages(self, run_dir):
+        info = scan_status(run_dir.root, now=1700000000.0)
+        assert info["scanned_iso"] == "2023-11-14T22:13:20Z"
+        by_sid = {e["shard"]: e for e in info["shards"]}
+        leased = by_sid["g0001-s001"]
+        assert leased["hb_age_s"] is not None
+        assert leased["hb_iso"].endswith("Z")
+        assert by_sid["g0001-s000"]["hb_iso"] is None  # pending: no lease
+        done = by_sid["g0001-s003"]
+        assert done["completed_iso"] == "1970-01-01T00:00:11Z"
+
+    def test_created_iso_from_config(self, run_dir):
+        atomic_write_json(
+            run_dir.config_path,
+            {"device": "P100", "workers": 2, "lease_ttl": 2.0,
+             "created_ts": 0.0},
+        )
+        info = scan_status(run_dir.root)
+        assert info["created_iso"] == "1970-01-01T00:00:00Z"
+        assert info["state"] == "running"
+
+    def test_json_round_trip(self, run_dir):
+        # --json output must serialize as-is (ISO strings, not datetimes).
+        json.dumps(scan_status(run_dir.root))
+
     def test_format_renders_every_shard(self, run_dir):
         text = format_status(scan_status(run_dir.root))
         for sid in ("g0001-s000", "g0001-s001", "g0001-s002", "g0001-s003"):

@@ -1,0 +1,153 @@
+"""`repro top`: model building, rendering, and the one-shot loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.distrib import DistribPaths, Shard, build_top_model, render_top, run_top
+from repro.distrib.files import lease_claim
+from repro.obs import MetricsRegistry, build_snapshot, write_snapshot
+from repro.resilience.atomic import atomic_write_json
+
+
+def _shard(sid, count=2):
+    return Shard(
+        sid=sid,
+        irfp="deadbeefdeadbeef",
+        tag="sf",
+        candidates=tuple((f"{sid}-k{i}", {"v": i}) for i in range(count)),
+    )
+
+
+def _worker_snapshot(paths, worker, requests, hits=0, ts=None, started=None):
+    registry = MetricsRegistry()
+    registry.counter("eval.requests").add(requests)
+    if hits:
+        registry.counter("eval.hits").add(hits)
+    snap = build_snapshot(worker, registry=registry, seq=1, started_ts=started)
+    if ts is not None:
+        snap["ts"] = ts
+    write_snapshot(paths.worker_metrics_path(worker), snap)
+    return snap
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """A live-looking run: one done shard, one leased, one pending."""
+    paths = DistribPaths(str(tmp_path)).ensure()
+    atomic_write_json(
+        paths.config_path,
+        {"device": "P100", "workers": 2, "lease_ttl": 2.0,
+         "flush_s": 0.5, "created_ts": 0.0},
+    )
+    _shard("g0001-s000").write(paths)
+    atomic_write_json(
+        paths.done_path("g0001-s000"),
+        {"shard": "g0001-s000", "worker": 0, "generation": 0,
+         "candidates": 2, "completed_ts": 5.0},
+    )
+    _shard("g0001-s001").write(paths)
+    lease_claim(paths, "g0001-s001", worker=1)
+    _shard("g0001-s002").write(paths)  # pending
+    _worker_snapshot(paths, 0, requests=80, hits=20)
+    _worker_snapshot(paths, 1, requests=40)
+    return paths
+
+
+class TestBuildTopModel:
+    def test_per_worker_rows(self, run_dir):
+        model = build_top_model(run_dir.root)
+        assert [w["worker"] for w in model["workers"]] == [0, 1]
+        by_worker = {w["worker"]: w for w in model["workers"]}
+        assert by_worker[0]["requests"] == 80
+        assert by_worker[0]["hit_rate"] == pytest.approx(0.25)
+        assert by_worker[1]["shard"] == "g0001-s001"
+        assert by_worker[1]["shard_state"] == "leased"
+        assert by_worker[0]["shard"] is None  # idle: owns nothing
+
+    def test_totals_and_eta(self, run_dir):
+        model = build_top_model(run_dir.root, now=10.0)
+        assert model["totals"]["done"] == 1
+        # created_ts=0, 1 of 3 shards done in 10 s -> 2 remain -> 20 s.
+        assert model["eta_s"] == pytest.approx(20.0)
+
+    def test_eta_absent_before_first_completion(self, run_dir):
+        import os
+
+        os.unlink(run_dir.done_path("g0001-s000"))
+        model = build_top_model(run_dir.root)
+        assert model["eta_s"] is None
+
+    def test_stale_worker_flagged(self, run_dir):
+        now = 1000.0
+        _worker_snapshot(run_dir, 0, requests=80, ts=now - 60.0)
+        _worker_snapshot(run_dir, 1, requests=40, ts=now - 0.1)
+        model = build_top_model(run_dir.root, now=now)
+        by_worker = {w["worker"]: w for w in model["workers"]}
+        assert by_worker[0]["alive"] is False  # flushes stopped: presumed dead
+        assert by_worker[1]["alive"] is True
+
+    def test_instant_rate_from_previous_model(self, run_dir):
+        prev = build_top_model(run_dir.root, now=100.0)
+        _worker_snapshot(
+            run_dir, 0, requests=180, hits=20,
+            ts=prev["workers"][0]["snapshot_ts"] + 10.0,
+        )
+        model = build_top_model(run_dir.root, now=110.0, prev=prev)
+        by_worker = {w["worker"]: w for w in model["workers"]}
+        assert by_worker[0]["rate"] == pytest.approx(10.0)  # +100 in 10 s
+
+    def test_initializing_directory_has_no_workers(self, tmp_path):
+        model = build_top_model(str(tmp_path))
+        assert model["state"] == "initializing"
+        assert model["workers"] == []
+
+    def test_model_is_json_ready(self, run_dir):
+        json.dumps(build_top_model(run_dir.root))
+
+
+class TestRender:
+    def test_one_row_per_worker(self, run_dir):
+        text = render_top(build_top_model(run_dir.root))
+        assert "repro top" in text
+        assert "1/3 done" in text
+        lines = [l for l in text.splitlines() if l.lstrip().startswith(("0 ", "1 "))]
+        assert len(lines) == 2
+        assert "g0001-s001" in text
+
+    def test_no_snapshots_hint(self, run_dir):
+        import os
+
+        for worker in (0, 1):
+            os.unlink(run_dir.worker_metrics_path(worker))
+        text = render_top(build_top_model(run_dir.root))
+        assert "no worker snapshots yet" in text
+
+
+class TestRunTop:
+    def test_non_tty_degrades_to_one_shot(self, run_dir):
+        out = io.StringIO()  # no isatty -> one frame, exit 0
+        assert run_top(run_dir.root, out=out) == 0
+        assert out.getvalue().count("repro top") == 1
+        assert "\x1b[" not in out.getvalue()
+
+    def test_once_flag_single_frame(self, run_dir):
+        out = io.StringIO()
+        assert run_top(run_dir.root, once=True, out=out) == 0
+        assert out.getvalue().count("repro top") == 1
+
+    def test_tty_repaints_in_place(self, run_dir):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        out = Tty()
+        assert run_top(
+            run_dir.root, interval_s=0.01, out=out, max_frames=2
+        ) == 0
+        assert out.getvalue().count("\x1b[H\x1b[J") == 2
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_top(str(tmp_path / "nowhere"), once=True, out=io.StringIO())

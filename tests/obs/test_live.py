@@ -1,0 +1,288 @@
+"""Per-process snapshots, cross-process merge, and the flusher."""
+
+import json
+import os
+import random
+import threading
+import time
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.live import (
+    SnapshotFlusher,
+    build_snapshot,
+    load_snapshots,
+    merge_snapshots,
+    publish_stats_dict,
+    snapshot_path,
+    span_wall_ts,
+    write_snapshot,
+)
+
+
+def _registry(counters=(), gauges=(), observations=()):
+    reg = MetricsRegistry()
+    for name, value in counters:
+        reg.counter(name).add(value)
+    for name, value, ts in gauges:
+        reg.gauge(name).set(value, ts=ts)
+    for name, value in observations:
+        reg.histogram(name).observe(value)
+    return reg
+
+
+class TestSnapshots:
+    def test_build_snapshot_shape(self):
+        reg = _registry(counters=[("eval.requests", 3)])
+        snap = build_snapshot(2, registry=reg, seq=7)
+        assert snap["worker"] == 2
+        assert snap["seq"] == 7
+        assert snap["pid"] == os.getpid()
+        assert snap["metrics"]["eval.requests"]["value"] == 3
+        assert {"wall_ts", "perf_s"} <= set(snap["anchor"])
+        assert "spans" not in snap
+
+    def test_spans_ride_along_when_asked(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            snap = build_snapshot(
+                0, registry=MetricsRegistry(), tracer=tracer,
+                include_spans=True,
+            )
+        assert [s["name"] for s in snap["spans"]] == ["inner"]
+        assert [s["name"] for s in snap["open_spans"]] == ["outer"]
+        assert snap["open_spans"][0]["end_s"] is None
+
+    def test_span_wall_ts_roundtrip(self):
+        anchor = {"wall_ts": 1000.0, "perf_s": 50.0}
+        assert span_wall_ts(52.5, anchor) == pytest.approx(1002.5)
+
+    def test_write_and_load(self, tmp_path):
+        obs = str(tmp_path)
+        for worker in (1, 0):
+            snap = build_snapshot(
+                worker, registry=_registry(counters=[("n", worker + 1)])
+            )
+            write_snapshot(snapshot_path(obs, worker), snap)
+        loaded = load_snapshots(obs)
+        assert [s["worker"] for s in loaded] == [0, 1]
+
+    def test_load_skips_garbage_and_merged(self, tmp_path):
+        obs = str(tmp_path)
+        write_snapshot(
+            snapshot_path(obs, 0),
+            build_snapshot(0, registry=MetricsRegistry()),
+        )
+        (tmp_path / "worker-01.metrics.json").write_text("{torn")
+        (tmp_path / "merged.metrics.json").write_text(
+            json.dumps(build_snapshot(-1, registry=MetricsRegistry()))
+        )
+        (tmp_path / "notes.txt").write_text("hi")
+        loaded = load_snapshots(obs)
+        assert [s["worker"] for s in loaded] == [0]
+
+    def test_load_missing_dir_is_empty(self, tmp_path):
+        assert load_snapshots(str(tmp_path / "nope")) == []
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        snaps = [
+            build_snapshot(i, registry=_registry(counters=[("n", 5)]))
+            for i in range(3)
+        ]
+        merged = merge_snapshots(snaps)
+        assert merged.counter("n").value == 15
+
+    def test_gauges_last_writer_wins_by_ts(self):
+        old = build_snapshot(
+            0, registry=_registry(gauges=[("g", 1.0, 100.0)])
+        )
+        new = build_snapshot(
+            1, registry=_registry(gauges=[("g", 2.0, 200.0)])
+        )
+        for order in ([old, new], [new, old]):
+            assert merge_snapshots(order).gauge("g").value == 2.0
+
+    def test_histograms_bucket_merge(self):
+        snaps = [
+            build_snapshot(i, registry=_registry(observations=[("h", v)]))
+            for i, v in enumerate((0.001, 0.2, 7.0))
+        ]
+        merged = merge_snapshots(snaps)
+        h = merged.histogram("h")
+        assert h.count == 3
+        assert h.quantile(0.0) == pytest.approx(0.001)
+        assert h.quantile(1.0) == pytest.approx(7.0)
+
+    def test_exclude_prefixes(self):
+        snap = build_snapshot(
+            0,
+            registry=_registry(
+                counters=[("eval.requests", 9), ("distrib.steals", 2)]
+            ),
+        )
+        merged = merge_snapshots([snap], exclude_prefixes=("eval.",))
+        names = dict(merged.snapshot())
+        assert "eval.requests" not in names
+        assert names["distrib.steals"]["value"] == 2
+
+    def test_fold_onto_existing_registry(self):
+        base = _registry(counters=[("n", 1)])
+        merged = merge_snapshots(
+            [build_snapshot(0, registry=_registry(counters=[("n", 2)]))],
+            registry=base,
+        )
+        assert merged is base
+        assert base.counter("n").value == 3
+
+
+# Exact-in-float values: sums of multiples of 0.25 carry no rounding,
+# so snapshot merges in any order produce bit-identical sums/means.
+_exact = st.integers(min_value=0, max_value=40).map(lambda n: n * 0.25)
+
+
+@st.composite
+def _snapshot_specs(draw):
+    specs = []
+    n = draw(st.integers(min_value=1, max_value=4))
+    gauge_ts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    for i in range(n):
+        specs.append(
+            {
+                "counters": draw(
+                    st.dictionaries(
+                        st.sampled_from(["a", "b", "c"]),
+                        st.integers(min_value=0, max_value=100),
+                        max_size=3,
+                    )
+                ),
+                "gauge": (draw(_exact), float(gauge_ts[i])),
+                "observations": draw(
+                    st.lists(_exact, min_size=0, max_size=6)
+                ),
+            }
+        )
+    return specs
+
+
+def _snapshot_from_spec(worker, spec):
+    reg = _registry(
+        counters=spec["counters"].items(),
+        gauges=[("g", spec["gauge"][0], spec["gauge"][1])],
+        observations=[("h", v) for v in spec["observations"]],
+    )
+    return build_snapshot(worker, registry=reg, seq=1)
+
+
+class TestMergeCommutativity:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=_snapshot_specs(), seed=st.integers(0, 2**16))
+    def test_fold_order_never_changes_the_result(self, specs, seed):
+        snaps = [_snapshot_from_spec(i, s) for i, s in enumerate(specs)]
+        shuffled = list(snaps)
+        random.Random(seed).shuffle(shuffled)
+        assert (
+            merge_snapshots(snaps).snapshot()
+            == merge_snapshots(shuffled).snapshot()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=_snapshot_specs())
+    def test_fold_is_associative(self, specs):
+        snaps = [_snapshot_from_spec(i, s) for i, s in enumerate(specs)]
+        left = merge_snapshots(snaps)
+        right = MetricsRegistry()
+        for snap in snaps:
+            merge_snapshots([snap], registry=right)
+        assert left.snapshot() == right.snapshot()
+
+
+class TestPublishStats:
+    def test_counters_and_timing_histograms(self):
+        reg = MetricsRegistry()
+        publish_stats_dict(
+            reg, {"requests": 4, "hits": 1, "wall_s": 0.5, "cpu_s": 0.0}
+        )
+        snap = reg.snapshot()
+        assert snap["eval.requests"]["value"] == 4
+        assert snap["eval.wall_s"]["count"] == 1
+        assert "eval.cpu_s" not in snap  # zero timing -> no observation
+
+    def test_negative_derived_delta_skipped(self):
+        reg = MetricsRegistry()
+        publish_stats_dict(reg, {"simulations": -2, "requests": 1})
+        snap = reg.snapshot()
+        assert "eval.simulations" not in snap
+        assert snap["eval.requests"]["value"] == 1
+
+
+class TestFlusher:
+    def test_flush_writes_readable_snapshot(self, tmp_path):
+        path = str(tmp_path / "worker-00.metrics.json")
+        reg = _registry(counters=[("n", 2)])
+        flusher = SnapshotFlusher(path, worker=0, registry=reg)
+        snap = flusher.flush()
+        assert snap["seq"] == 1
+        on_disk = json.loads(open(path).read())
+        assert on_disk["metrics"]["n"]["value"] == 2
+
+    def test_collect_runs_before_each_flush(self, tmp_path):
+        path = str(tmp_path / "worker-00.metrics.json")
+        reg = MetricsRegistry()
+        calls = []
+
+        def collect():
+            calls.append(1)
+            reg.counter("n").add(1)
+
+        flusher = SnapshotFlusher(path, worker=0, registry=reg, collect=collect)
+        flusher.flush()
+        flusher.flush()
+        assert len(calls) == 2
+        assert json.loads(open(path).read())["metrics"]["n"]["value"] == 2
+
+    def test_stop_performs_final_flush(self, tmp_path):
+        path = str(tmp_path / "worker-00.metrics.json")
+        reg = _registry(counters=[("n", 1)])
+        with SnapshotFlusher(path, worker=0, interval_s=60.0, registry=reg):
+            assert not os.path.exists(path)  # first interval far away
+        assert json.loads(open(path).read())["metrics"]["n"]["value"] == 1
+
+    def test_periodic_flushes_advance_seq(self, tmp_path):
+        path = str(tmp_path / "worker-00.metrics.json")
+        flusher = SnapshotFlusher(
+            path, worker=0, interval_s=0.05, registry=MetricsRegistry()
+        ).start()
+        try:
+            deadline = time.time() + 5.0
+            seq = 0
+            while time.time() < deadline and seq < 2:
+                if os.path.exists(path):
+                    seq = json.loads(open(path).read())["seq"]
+                time.sleep(0.02)
+            assert seq >= 2
+        finally:
+            flusher.stop(final_flush=False)
+
+    def test_concurrent_flush_safe(self, tmp_path):
+        path = str(tmp_path / "worker-00.metrics.json")
+        flusher = SnapshotFlusher(path, worker=0, registry=MetricsRegistry())
+        threads = [
+            threading.Thread(target=flusher.flush) for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert json.loads(open(path).read())["seq"] == 8

@@ -58,6 +58,108 @@ class TestTypes:
         assert d["count"] == 0 and d["min"] == 0.0 and d["mean"] == 0.0
 
 
+class TestQuantiles:
+    def test_exact_at_extremes(self):
+        h = Histogram("lat")
+        for v in (0.002, 0.004, 0.07, 0.3):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.002
+        assert h.quantile(1.0) == 0.3
+
+    def test_median_lands_in_crossing_bucket(self):
+        h = Histogram("lat")
+        for _ in range(100):
+            h.observe(0.02)  # all in the (0.01, 0.025] bucket
+        assert 0.01 <= h.quantile(0.5) <= 0.025
+
+    def test_monotone_in_q(self):
+        h = Histogram("lat")
+        for v in (0.0001, 0.002, 0.02, 0.2, 2.0, 20.0):
+            h.observe(v)
+        quantiles = [h.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+    def test_empty_is_zero(self):
+        assert Histogram("lat").quantile(0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_quantile_from_dict_matches_live(self):
+        h = Histogram("lat")
+        for v in (0.001, 0.02, 0.4, 3.0):
+            h.observe(v)
+        d = h.as_dict()
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert Histogram.quantile_from_dict(d, q) == h.quantile(q)
+
+    def test_legacy_snapshot_without_buckets(self):
+        d = {"type": "histogram", "count": 2, "min": 1.0, "max": 3.0}
+        assert Histogram.quantile_from_dict(d, 0.5) == 2.0
+
+
+class TestMergeDicts:
+    def test_counter_merge_sums(self):
+        a, b = Counter("n"), Counter("n")
+        a.add(3)
+        b.add(4)
+        a.merge_dict(b.as_dict())
+        assert a.value == 7
+
+    def test_gauge_merge_newest_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0, ts=100.0)
+        b.set(2.0, ts=50.0)  # older write must not clobber
+        a.merge_dict(b.as_dict())
+        assert a.value == 1.0
+        b.merge_dict(a.as_dict())
+        assert b.value == 1.0
+
+    def test_histogram_merge_bins_and_extremes(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(0.001)
+        b.observe(5.0)
+        b.observe(0.3)
+        a.merge_dict(b.as_dict())
+        assert a.count == 3
+        assert a.quantile(0.0) == 0.001 and a.quantile(1.0) == 5.0
+
+    def test_histogram_merge_empty_is_noop(self):
+        a = Histogram("h")
+        a.observe(1.0)
+        a.merge_dict(Histogram("h", bounds=(1.0, 2.0)).as_dict())
+        assert a.count == 1  # empty snapshot merges even with odd bounds
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a = Histogram("h")
+        other = Histogram("h", bounds=(1.0, 2.0))
+        other.observe(1.5)
+        with pytest.raises(ValueError):
+            a.merge_dict(other.as_dict())
+
+    def test_registry_merge_snapshot_creates_and_folds(self):
+        source = MetricsRegistry()
+        source.counter("c").add(2)
+        source.gauge("g").set(5)
+        source.histogram("h").observe(0.1)
+        target = MetricsRegistry()
+        target.counter("c").add(1)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("c").value == 3
+        assert target.gauge("g").value == 5
+        assert target.histogram("h").count == 1
+
+    def test_registry_merge_snapshot_excludes_prefixes(self):
+        source = MetricsRegistry()
+        source.counter("eval.requests").add(2)
+        source.counter("distrib.steals").add(1)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot(), exclude_prefixes=("eval.",))
+        assert "eval.requests" not in target.snapshot()
+        assert target.counter("distrib.steals").value == 1
+
+
 class TestRegistry:
     def test_created_on_first_use_then_shared(self):
         reg = MetricsRegistry()

@@ -401,3 +401,109 @@ class TestBenchCli:
             "--check", "--baseline", str(tmp_path / "absent.json"),
         ]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestLiveObservatory:
+    """--metrics-port, p50/p95 metric columns, and `repro top`."""
+
+    @staticmethod
+    def _free_port():
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_metrics_port_serves_during_run(self, capsys):
+        import threading
+        import time
+        import urllib.request
+
+        port = self._free_port()
+        scrapes = []
+        done = threading.Event()
+
+        def scrape():
+            # Poll until a scrape shows evaluation traffic: early frames
+            # legitimately carry only parse/analysis counters.
+            url = f"http://127.0.0.1:{port}/metrics"
+            while not done.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=1) as response:
+                        body = response.read().decode()
+                        scrapes.append((response.status, body))
+                        if "repro_eval_requests_total" in body:
+                            return
+                except OSError:
+                    pass
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=scrape, daemon=True)
+        thread.start()
+        try:
+            assert main([
+                "optimize", "7pt-smoother", "--top-k", "1",
+                "--metrics-port", str(port),
+            ]) == 0
+        finally:
+            done.set()
+        thread.join(timeout=5)
+        assert scrapes, "endpoint never answered while the run was live"
+        assert all(status == 200 for status, _ in scrapes)
+        assert scrapes[0][1].startswith("# HELP")  # valid exposition text
+        assert any(
+            "repro_eval_requests_total" in body for _, body in scrapes
+        ), "no scrape observed evaluation counters mid-run"
+        assert f"serving http://127.0.0.1:{port}" in capsys.readouterr().err
+
+    def test_metrics_table_has_quantiles(self, capsys):
+        assert main([
+            "optimize", "7pt-smoother", "--top-k", "1", "--metrics"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p50=" in out and "p95=" in out
+
+    def test_metrics_port_parses_on_deep_tune(self):
+        args = build_parser().parse_args(
+            ["deep-tune", "7pt-smoother", "--metrics-port", "0"]
+        )
+        assert args.metrics_port == 0
+
+    def _fake_run_dir(self, tmp_path):
+        from repro.distrib import DistribPaths
+        from repro.obs import MetricsRegistry, build_snapshot, write_snapshot
+        from repro.resilience.atomic import atomic_write_json
+
+        paths = DistribPaths(str(tmp_path)).ensure()
+        atomic_write_json(
+            paths.config_path,
+            {"device": "P100", "workers": 1, "lease_ttl": 2.0,
+             "created_ts": 0.0},
+        )
+        registry = MetricsRegistry()
+        registry.counter("eval.requests").add(10)
+        write_snapshot(
+            paths.worker_metrics_path(0),
+            build_snapshot(0, registry=registry, seq=1),
+        )
+        return paths
+
+    def test_top_once_exits_zero_with_worker_rows(self, tmp_path, capsys):
+        self._fake_run_dir(tmp_path)
+        assert main(["top", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "ev/s" in out
+
+    def test_top_missing_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nowhere")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shard_status_json_has_iso_timestamps(self, tmp_path, capsys):
+        import json
+
+        self._fake_run_dir(tmp_path)
+        assert main(["shard-status", str(tmp_path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["scanned_iso"].endswith("Z")
+        assert info["created_iso"] == "1970-01-01T00:00:00Z"
