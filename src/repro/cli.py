@@ -737,6 +737,152 @@ def cmd_lint(args) -> int:
     return 1 if errors else 0
 
 
+def cmd_certify(args) -> int:
+    """Prove every plan transformation legal (``repro certify``).
+
+    Runs the RL3xx dependence certifier over explicit plans (``--plan``),
+    journalled tuning candidates (``--journal``), or — when neither is
+    given — each program's per-kernel seed plans.  Exit 1 when any plan
+    is refuted; refutations carry replayable witnesses in ``--json`` and
+    ``--sarif`` output.
+    """
+    import json as _json
+    from dataclasses import replace as _restamp
+
+    from .codegen.resources import (
+        InvalidPlan,
+        seed_plan_from_pragma,
+        validate_plan,
+    )
+    from .lint import (
+        Diagnostic,
+        LintReport,
+        certification_advisories,
+        certify_plan_transformations,
+        extract_dsl_blocks,
+    )
+    from .lint.rules_plan import RL204
+    from .lint.sarif import write_sarif
+    from .resilience.checkpoint import plan_from_dict
+
+    programs = [(spec, _load(spec)) for spec in args.specs]
+    if args.suite:
+        for name in BENCHMARKS:
+            programs.append((name, get_benchmark(name).ir()))
+    if args.examples:
+        root = Path(args.examples)
+        if not root.is_dir():
+            raise UsageError(
+                f"--examples: {args.examples!r} is not a directory"
+            )
+        for path in sorted(root.glob("*.py")):
+            for start, block in extract_dsl_blocks(path.read_text()):
+                programs.append((f"{path}:{start}", lower(block)))
+    if not programs:
+        raise UsageError(
+            "nothing to certify: pass a spec, --suite, or --examples DIR"
+        )
+
+    explicit = []  # plans certified against every resolved program
+    for path in args.plan or []:
+        plan_path = Path(path)
+        if not plan_path.exists():
+            raise UsageError(f"--plan: {path!r} does not exist")
+        data = _json.loads(plan_path.read_text())
+        for entry in data if isinstance(data, list) else [data]:
+            try:
+                explicit.append(plan_from_dict(entry))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise UsageError(
+                    f"--plan: {path!r} is not a serialized KernelPlan: {exc}"
+                ) from None
+    for path in args.journal or []:
+        journal_path = Path(path)
+        if not journal_path.exists():
+            raise UsageError(f"--journal: {path!r} does not exist")
+        seen = {}
+        for line in journal_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            record = _json.loads(line)
+            if record.get("kind") == "candidate" and record.get("plan"):
+                seen[record["key"]] = record["plan"]
+        for entry in seen.values():
+            try:
+                explicit.append(plan_from_dict(entry))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise UsageError(
+                    f"--journal: {path!r} holds an unreadable plan "
+                    f"record: {exc}"
+                ) from None
+
+    reports = []
+    plans_total = 0
+    for name, ir in programs:
+        plans = explicit or [
+            seed_plan_from_pragma(ir, instance) for instance in ir.kernels
+        ]
+        for plan in plans:
+            plans_total += 1
+            artifact = f"{name}::plan({','.join(plan.kernel_names)})"
+            findings = [
+                _restamp(d, artifact=artifact)
+                for d in certify_plan_transformations(ir, plan)
+            ]
+            try:
+                validate_plan(ir, plan)
+            except InvalidPlan as exc:
+                # Only surface RL204 when no refutation already explains
+                # the invalidity (a multi-kernel time tile is both).
+                if not any(d.severity == "error" for d in findings):
+                    findings.append(
+                        Diagnostic(RL204, str(exc), artifact=artifact)
+                    )
+            else:
+                findings.extend(
+                    _restamp(d, artifact=artifact)
+                    for d in certification_advisories(ir, plan)
+                )
+            reports.append(
+                LintReport(tuple(findings), artifact=artifact)
+            )
+
+    errors = sum(len(r.errors) for r in reports)
+    findings_total = sum(len(r) for r in reports)
+    if args.json:
+        atomic_write_json(
+            args.json,
+            {
+                "artifacts": [r.as_dict() for r in reports],
+                "totals": {
+                    "programs": len(programs),
+                    "plans": plans_total,
+                    "findings": findings_total,
+                    "refutations": errors,
+                },
+            },
+            indent=2,
+        )
+        print(f"certify: JSON written to {args.json}", file=sys.stderr)
+    if args.sarif:
+        write_sarif(reports, args.sarif)
+        print(f"certify: SARIF written to {args.sarif}", file=sys.stderr)
+
+    for report in reports:
+        if report:
+            print(report.render())
+    verdict = (
+        "all transformations certified"
+        if errors == 0
+        else f"{errors} refutation(s)"
+    )
+    print(
+        f"certify: {plans_total} plan(s) across {len(programs)} "
+        f"program(s) — {verdict}"
+    )
+    return 1 if errors else 0
+
+
 def cmd_devices(args) -> int:
     """List the registered device profiles (``repro devices``)."""
     import json as _json
@@ -1070,6 +1216,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write all findings as SARIF 2.1.0 to PATH",
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "certify",
+        help="prove plan transformations legal (RL3xx dependence certifier)",
+    )
+    p.add_argument(
+        "specs", nargs="*",
+        help="benchmark names or DSL files the plans apply to",
+    )
+    p.add_argument(
+        "--plan", action="append", metavar="PATH", default=None,
+        help="JSON plan (or list of plans) to certify; repeatable",
+    )
+    p.add_argument(
+        "--journal", action="append", metavar="PATH", default=None,
+        help="certify every candidate plan recorded in a tuning journal "
+             "(JSONL checkpoint); repeatable",
+    )
+    p.add_argument(
+        "--suite", action="store_true",
+        help="also certify every built-in suite benchmark's seed plans",
+    )
+    p.add_argument(
+        "--examples", metavar="DIR", default=None,
+        help="certify seed plans of DSL blocks in every *.py under DIR",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write certification results (witnesses included) as JSON",
+    )
+    p.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="write certification results as SARIF 2.1.0",
+    )
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser(
         "bench", help="run the search-performance regression benchmark"

@@ -65,7 +65,13 @@ def validate_plan(ir: ProgramIR, plan: KernelPlan) -> None:
             f"stream axis {plan.stream_axis} out of range for "
             f"{ir.ndim}-D program"
         )
-    stages = build_stages(ir, plan)
+    try:
+        stages = build_stages(ir, plan)
+    except ValueError as exc:
+        # e.g. a multi-kernel time tile: stage construction refuses the
+        # shape; classify it as the structural invalidity it is instead
+        # of leaking a bare ValueError past the INFEASIBLE taxonomy.
+        raise InvalidPlan(str(exc)) from None
     if plan.retime:
         if not plan.uses_streaming:
             raise InvalidPlan("retiming requires streaming")

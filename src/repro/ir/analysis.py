@@ -183,6 +183,38 @@ def _pattern_of(ir: ProgramIR, access: ArrayAccess, is_write: bool) -> AccessPat
     return AccessPattern(access.name, tuple(offsets), is_write)
 
 
+def array_offset_sets(
+    ir: ProgramIR, instance: StencilInstance
+) -> Dict[str, Tuple[Tuple[Tuple[Optional[int], ...], ...],
+                     Tuple[Tuple[Optional[int], ...], ...]]]:
+    """Per-array distinct ``(read_offsets, write_offsets)`` for one kernel.
+
+    Each side is a tuple of distinct per-axis offset vectors (``None``
+    marks an axis the access does not index with a plain iterator).  The
+    dependence engine (``repro.lint.dependence``) subtracts these
+    pairwise to obtain exact dependence distances between kernels.
+    """
+
+    def compute():
+        reads: Dict[str, List[Tuple[Optional[int], ...]]] = {}
+        writes: Dict[str, List[Tuple[Optional[int], ...]]] = {}
+        for pattern in access_patterns(ir, instance):
+            bucket = (writes if pattern.is_write else reads).setdefault(
+                pattern.array, []
+            )
+            if pattern.axis_offsets not in bucket:
+                bucket.append(pattern.axis_offsets)
+        return {
+            name: (
+                tuple(reads.get(name, ())),
+                tuple(writes.get(name, ())),
+            )
+            for name in sorted({*reads, *writes})
+        }
+
+    return _memoized("offset_sets", instance, compute)
+
+
 def read_halos(
     ir: ProgramIR, instance: StencilInstance
 ) -> Dict[str, Tuple[Tuple[int, int], ...]]:

@@ -23,24 +23,52 @@ from .diagnostics import (
     RULES,
     rule,
 )
+from .dependence import (
+    DependenceEdge,
+    Witness,
+    array_flow_graph,
+    dependence_graph,
+    edges_between,
+    kernel_dependences,
+)
 from .engine import extract_dsl_blocks, lint_program, lint_source
 from .rules_plan import check_plan, classify_occupancy_failure, plan_rejection
+from .rules_transform import (
+    certification_advisories,
+    certification_disabled,
+    certifier_enabled,
+    certify_plan_transformations,
+    set_certification_enabled,
+)
 from .sarif import sarif_log, write_sarif
+from .witness import WitnessReplay, replay_witness
 
 __all__ = [
     "ERROR",
     "INFO",
     "WARNING",
+    "DependenceEdge",
     "Diagnostic",
     "LintReport",
     "RULES",
     "Rule",
+    "Witness",
+    "WitnessReplay",
+    "array_flow_graph",
+    "certification_advisories",
+    "certification_disabled",
+    "certifier_enabled",
+    "certify_plan_transformations",
     "check_plan",
     "classify_occupancy_failure",
+    "dependence_graph",
+    "edges_between",
     "extract_dsl_blocks",
+    "kernel_dependences",
     "lint_program",
     "lint_source",
     "plan_rejection",
+    "replay_witness",
     "rule",
     "sarif_log",
     "write_sarif",

@@ -67,6 +67,10 @@ class Diagnostic:
     span: Optional[SourceSpan] = None
     #: what was linted — a file path, benchmark name, or plan description.
     artifact: str = "<dsl>"
+    #: counterexample for RL3xx refutations (a
+    #: :class:`repro.lint.dependence.Witness`); duck-typed here so the
+    #: diagnostics core keeps its no-heavy-imports guarantee.
+    witness: Optional[object] = None
 
     @property
     def code(self) -> str:
@@ -98,6 +102,8 @@ class Diagnostic:
         if self.span is not None and self.span.line:
             out["line"] = self.span.line
             out["col"] = self.span.col
+        if self.witness is not None:
+            out["witness"] = self.witness.as_dict()
         return out
 
 

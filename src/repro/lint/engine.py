@@ -78,7 +78,9 @@ def _finish(findings: List[Diagnostic], artifact: str) -> LintReport:
 
 
 def _restamp(d: Diagnostic, artifact: str) -> Diagnostic:
-    return Diagnostic(d.rule, d.message, span=d.span, artifact=artifact)
+    return Diagnostic(
+        d.rule, d.message, span=d.span, artifact=artifact, witness=d.witness
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -163,12 +163,32 @@ def _shape_findings(
 def _fusion_findings(
     ir: ProgramIR, plan: KernelPlan
 ) -> List[Diagnostic]:
-    """RL206 — fusion order vs the program's dependence DAG.
+    """Transformation legality — certified (RL3xx) or structural (RL206).
+
+    With the dependence certifier on (the default) every transformation
+    the plan encodes is proven against exact dependence distances and
+    refutations come back as RL301-RL304 with counterexample witnesses
+    (:mod:`repro.lint.rules_transform`).  With it off, the legacy
+    structural RL206 pass runs: DAG edge direction plus a distance check
+    for concurrent streaming (so a DAG-consistent order that races a
+    nonzero cross-kernel offset along the streamed axis is still
+    flagged).  RL206 defers entirely when the certifier is on — the two
+    paths never double-report one violation.
 
     Unlike the shape rules this one *does* reject in the engine: a
     fused launch that runs a consumer before its producer prices
     meaningless dataflow, and no tuner ever generates one.
     """
+    from .rules_transform import certifier_enabled, certify_plan_transformations
+
+    if certifier_enabled():
+        return certify_plan_transformations(ir, plan)
+    return _legacy_fusion_findings(ir, plan)
+
+
+def _legacy_fusion_findings(
+    ir: ProgramIR, plan: KernelPlan
+) -> List[Diagnostic]:
     artifact = _plan_artifact(plan)
     out: List[Diagnostic] = []
     if len(plan.kernel_names) > 1:
@@ -193,7 +213,44 @@ def _fusion_findings(
                             )
                         )
                         return out
+            out.extend(_legacy_stream_distance_findings(ir, plan, artifact))
     return out
+
+
+def _legacy_stream_distance_findings(
+    ir: ProgramIR, plan: KernelPlan, artifact: str
+) -> List[Diagnostic]:
+    """Distance-aware half of legacy RL206: DAG-consistent fusion that
+    chunk-races a nonzero (or unknown) cross-kernel offset along the
+    concurrently streamed axis."""
+    from ..codegen.plan import STREAM_CONCURRENT
+    from .dependence import FLOW, edges_between
+
+    if plan.streaming != STREAM_CONCURRENT or plan.concurrent_chunks <= 1:
+        return []
+    axis = plan.stream_axis
+    if axis >= ir.ndim:
+        return []
+    for edge in edges_between(ir, plan.kernel_names):
+        if edge.kind != FLOW:
+            continue
+        components = edge.axis_distances(axis)
+        offending = [c for c in components if c is None or c != 0]
+        if offending:
+            shown = offending[0]
+            return [
+                Diagnostic(
+                    RL206,
+                    f"plan fuses {edge.source!r} with {edge.sink!r} in "
+                    "DAG order, but streaming them in "
+                    f"{plan.concurrent_chunks} concurrent chunks races "
+                    f"the flow dependence through {edge.array!r} "
+                    f"({'unknown' if shown is None else f'distance {shown}'} "
+                    f"along axis {axis})",
+                    artifact=artifact,
+                )
+            ]
+    return []
 
 
 def _resource_findings(
@@ -255,6 +312,11 @@ def _advisory_findings(
 
     if plan.uses_streaming and len(plan.kernel_names) > 1:
         out.extend(_lookahead_findings(ir, plan, artifact))
+
+    from .rules_transform import certification_advisories, certifier_enabled
+
+    if certifier_enabled():
+        out.extend(certification_advisories(ir, plan))
     return out
 
 
@@ -312,6 +374,12 @@ def check_plan(
     artifact = _plan_artifact(plan)
     findings: List[Diagnostic] = []
 
+    # Transformation certification first: RL3xx refutations explain *why*
+    # a plan is illegal (with a witness), and they must surface even for
+    # shapes whose stage construction ``validate_plan`` refuses outright
+    # (e.g. a multi-kernel time tile).
+    findings.extend(_fusion_findings(ir, plan))
+
     if not assume_validated:
         from ..codegen.resources import InvalidPlan, validate_plan
 
@@ -324,7 +392,6 @@ def check_plan(
             return LintReport(tuple(findings), artifact=artifact)
 
     findings.extend(_shape_findings(ir, plan))
-    findings.extend(_fusion_findings(ir, plan))
     if not findings:
         findings.extend(_resource_findings(ir, plan, device))
     findings.extend(_advisory_findings(ir, plan))
@@ -334,12 +401,15 @@ def check_plan(
 def fusion_rejection(ir: ProgramIR, plan: KernelPlan) -> Optional[Diagnostic]:
     """The structural (grid-independent) half of :func:`plan_rejection`.
 
-    Fusion legality depends only on ``plan.kernel_names`` — never on the
-    block shape, unroll factors or register cap — so the evaluation
-    engine probes it once per plan *family* and reuses the finding for
-    every lane, instead of re-walking the dependence DAG per candidate.
-    (The per-candidate ``lint.reject.*`` counter still fires at
-    rejection time, not here.)
+    Transformation legality depends only on family-stable plan fields
+    (``kernel_names``, ``time_tile``, ``streaming``, ``stream_axis``,
+    ``concurrent_chunks``, ``retime``) — never on the block shape,
+    unroll factors or register cap — so the evaluation engine probes it
+    once per plan *family* and reuses the finding (an RL3xx
+    certification refutation, or legacy RL206 when the certifier is
+    off) for every lane, instead of re-certifying per candidate.  (The
+    per-candidate ``lint.reject.*`` counter still fires at rejection
+    time, not here.)
     """
     fusion = _fusion_findings(ir, plan)
     return fusion[0] if fusion else None

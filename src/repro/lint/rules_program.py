@@ -245,17 +245,14 @@ def _check_in_place_race(program: Program, ir: ProgramIR) -> List[Diagnostic]:
 def _check_dependence_cycle(
     program: Program, ir: ProgramIR
 ) -> List[Diagnostic]:
-    graph = nx.DiGraph()
-    for instance in ir.kernels:
-        written = set(instance.arrays_written())
-        # Only pure inputs feed edges: an array the kernel itself
-        # updates in place (the legal zero-offset idiom, see RL103)
-        # is not produced *from* the kernel's other outputs.
-        for source in instance.arrays_read():
-            if source in written:
-                continue
-            for target in written:
-                graph.add_edge(source, target)
+    # The dependence engine's array-flow graph drops a read edge only
+    # for an array the reading kernel *exclusively* writes (the legal
+    # in-place idiom, see RL103).  The earlier pure-input-only graph
+    # dropped every self-written read, so a cycle routed through an
+    # array that a *third* kernel also writes went undetected.
+    from .dependence import array_flow_graph
+
+    graph = array_flow_graph(ir)
     try:
         cycle = nx.find_cycle(graph)
     except nx.NetworkXNoCycle:

@@ -51,6 +51,10 @@ def _result(diag: Diagnostic, rule_index: Dict[str, int]) -> Dict[str, object]:
             "startColumn": max(diag.span.col, 1),
         }
     out["locations"] = [location]
+    if diag.witness is not None:
+        # RL3xx counterexample: carried in the SARIF result's property
+        # bag so code-scanning consumers can render the refutation.
+        out["properties"] = {"witness": diag.witness.as_dict()}
     return out
 
 

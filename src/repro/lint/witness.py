@@ -1,0 +1,106 @@
+"""Numeric replay of certification witnesses.
+
+A :class:`~repro.lint.dependence.Witness` claims that two events of the
+reference execution hold *different* values at one grid point — and that
+the refuted schedule reads the wrong one.  This module replays the claim
+on :func:`repro.gpu.executor.execute_reference`'s semantics with
+deterministic inputs: it runs the same boundary-carry / ping-pong loop,
+snapshots ``array[point]`` at both events, and reports whether the
+values actually diverge.  Tests assert they do for every RL3xx error
+the certifier emits, so no refutation ever rests on a vacuous
+counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    program_pingpong,
+    run_kernel,
+)
+from ..ir.stencil import ProgramIR
+from .dependence import Witness
+
+
+@dataclass(frozen=True)
+class WitnessReplay:
+    """Outcome of replaying one witness on the reference executor."""
+
+    witness: Witness
+    required_value: float
+    observed_value: float
+
+    @property
+    def diverged(self) -> bool:
+        """True when the two events hold different values (exact)."""
+        return self.required_value != self.observed_value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "witness": self.witness.as_dict(),
+            "required_value": self.required_value,
+            "observed_value": self.observed_value,
+            "diverged": self.diverged,
+        }
+
+
+def replay_witness(
+    ir: ProgramIR,
+    witness: Witness,
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+    scalars: Optional[Dict[str, float]] = None,
+) -> WitnessReplay:
+    """Run the instrumented reference executor and snapshot both events.
+
+    The loop is byte-for-byte :func:`execute_reference`'s (boundary
+    carry, program order, Jacobi ping-pong), with a capture hook before
+    and after each kernel.  Captures read the array *by name at event
+    time* — exactly the value a schedule observing that event would
+    read, swaps included.
+    """
+    if inputs is None:
+        inputs = allocate_inputs(ir)
+    if scalars is None:
+        scalars = default_scalars(ir)
+    arrays = {name: value.copy() for name, value in inputs.items()}
+
+    events = {witness.required_event, witness.observed_event}
+    steps = max(step for step, _ in events) + 1
+    carry = ir.is_iterative or steps > 1
+    written, read = program_pingpong(ir) if carry else (None, None)
+
+    captured: Dict[tuple, float] = {}
+    point = tuple(witness.point)
+
+    def capture(step: int, phase: str) -> None:
+        event = (step, phase)
+        if event in events and event not in captured:
+            captured[event] = float(arrays[witness.array][point])
+
+    for step in range(steps):
+        if carry:
+            arrays[written][...] = arrays[read]
+        for instance in ir.kernels:
+            capture(step, f"before:{instance.name}")
+            run_kernel(ir, instance, arrays, scalars)
+            capture(step, f"after:{instance.name}")
+        if carry and step < steps - 1:
+            arrays[written], arrays[read] = arrays[read], arrays[written]
+
+    missing = events - set(captured)
+    if missing:
+        raise ValueError(
+            f"witness events {sorted(missing)} never occur: kernels are "
+            f"{[k.name for k in ir.kernels]} over {steps} step(s)"
+        )
+    return WitnessReplay(
+        witness=witness,
+        required_value=captured[witness.required_event],
+        observed_value=captured[witness.observed_event],
+    )

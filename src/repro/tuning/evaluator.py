@@ -671,12 +671,16 @@ class PlanEvaluator:
         self.stats.misses += 1
         screened = False
         try:
-            # Legality prescreen: structural lint rules plus the cheap
+            # Legality prescreen: structural lint rules, the RL3xx
+            # transformation certifier (dependence-distance refutations
+            # of fusion/time-tile/streaming/retiming), and the cheap
             # register-dependent occupancy suffix — candidates the
-            # device cannot run are rejected without paying for the
-            # counter and timing models, and every rejection carries a
-            # stable ``RLxxx`` rule code.
+            # device cannot run (or whose transformations are provably
+            # illegal) are rejected without paying for the counter and
+            # timing models, and every rejection carries a stable
+            # ``RLxxx`` rule code.
             rejection = None
+            witness = None
             if rejection_fn is not None:
                 rejection = rejection_fn(plan)
             else:
@@ -688,12 +692,23 @@ class PlanEvaluator:
                     )
                     if diag is not None:
                         rejection = (diag.code, diag.message)
+                        # RL3xx refutations carry a counterexample
+                        # (grid point + event pair); thread it into the
+                        # exception context so batch telemetry can show
+                        # *why* the plan is illegal, not just the code.
+                        witness = diag.witness
             if rejection is not None:
                 code, message = rejection
                 self.stats.screened += 1
                 self.stats.lint_rejections += 1
                 screened = True
-                raise PlanInfeasible(f"[{code}] {message}", rule=code)
+                raise PlanInfeasible(
+                    f"[{code}] {message}",
+                    rule=code,
+                    witness=(
+                        witness.describe() if witness is not None else None
+                    ),
+                )
             if self.fault_injector is not None:
                 self.fault_injector.invoke(
                     plan_fingerprint(plan), degraded=degraded

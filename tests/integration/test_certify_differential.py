@@ -1,0 +1,104 @@
+"""Differential fuzzing of the transformation certifier.
+
+The certifier's one hard promise is an asymmetry: it may *refute* a
+plan the block-tiled executor happens to compute correctly (it refuses
+to assume cross-chunk recompute overlap), but it must never *accept* a
+plan whose executor output diverges from the reference interpreter.
+This suite hammers that promise with random programs and adversarially
+mutated plans (reversed fusion orders, forced concurrent chunking,
+forced retiming): every accepted plan executes and must match the
+reference bit-for-bit; a mismatch on an accepted plan is a hard
+failure.  ``derandomize=True`` keeps the corpus fixed so CI failures
+reproduce locally.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.codegen import KernelPlan, ProgramPlan, validate_plan
+from repro.codegen.resources import InvalidPlan
+from repro.dsl import parse
+from repro.gpu.executor import (
+    allocate_inputs,
+    default_scalars,
+    execute_program_plan,
+    execute_reference,
+)
+from repro.ir import build_ir
+from repro.lint import certify_plan_transformations, replay_witness
+
+from tests.integration.test_plan_semantics_property import plans_for, programs
+
+
+def _mutate(draw, plan):
+    """Adversarial plan mutations the tuner would never emit itself."""
+    choice = draw(st.integers(0, 3))
+    if choice == 1 and len(plan.kernel_names) > 1:
+        return plan.replace(
+            kernel_names=tuple(reversed(plan.kernel_names))
+        )
+    if choice == 2 and plan.streaming == "serial":
+        return plan.replace(
+            streaming="concurrent",
+            concurrent_chunks=draw(st.sampled_from([2, 3])),
+        )
+    if choice == 3 and plan.uses_streaming and not plan.retime:
+        return plan.replace(retime=True)
+    return plan
+
+
+@st.composite
+def adversarial_case(draw):
+    text, iterative, second_kernel = draw(programs())
+    ir = build_ir(parse(text))
+    plans = draw(plans_for(ir, iterative, second_kernel))
+    return ir, tuple(_mutate(draw, plan) for plan in plans), iterative
+
+
+def _refuted(ir, plan):
+    return any(
+        d.severity == "error"
+        for d in certify_plan_transformations(ir, plan)
+    )
+
+
+@given(adversarial_case())
+@settings(max_examples=220, deadline=None, derandomize=True)
+def test_certifier_accept_implies_executor_matches_reference(case):
+    ir, plans, iterative = case
+    for plan in plans:
+        if _refuted(ir, plan):
+            # Conservative refutation — allowed; the engine never runs
+            # refuted plans, so correctness is moot.
+            return
+        try:
+            validate_plan(ir, plan)
+        except InvalidPlan:
+            # Structurally invalid (RL204 territory): also never run.
+            return
+    inputs = allocate_inputs(ir)
+    scalars = default_scalars(ir)
+    steps = plans[0].time_tile if iterative else 1
+    reference = execute_reference(ir, inputs, scalars, time_iterations=steps)
+    got = execute_program_plan(ir, ProgramPlan(plans=plans), inputs, scalars)
+    for name in ir.copyout:
+        assert np.array_equal(reference[name], got[name]), (
+            "certifier accepted a diverging plan: "
+            + "; ".join(p.describe() for p in plans)
+        )
+
+
+@given(programs().filter(lambda case: case[2]))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_reversed_fusion_refutations_carry_live_witnesses(case):
+    # Every RL301 the fuzzer can provoke must rest on a replayable
+    # counterexample, not just a structural argument.
+    text, _, _ = case
+    ir = build_ir(parse(text))
+    names = tuple(k.name for k in ir.kernels)
+    plan = KernelPlan(tuple(reversed(names)), block=(4, 4, 4))
+    findings = certify_plan_transformations(ir, plan)
+    assert [d.code for d in findings] == ["RL301"]
+    assert findings[0].witness is not None
+    assert replay_witness(ir, findings[0].witness).diverged

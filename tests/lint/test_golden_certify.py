@@ -1,0 +1,65 @@
+"""Committed golden winners must certify clean.
+
+The per-device golden winners (``tests/gpu/golden_winners.json``) are
+the plans the repo promises the tuner finds; if the transformation
+certifier refuted any of them, either the winner or the certifier
+would be wrong.  This is the pytest half of CI's certification gate —
+the CLI half (``repro certify --suite --examples examples``) covers
+the seed plans.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.gpu.device import DEVICES, get_device
+from repro.lint import (
+    certify_plan_transformations,
+    check_plan,
+    plan_rejection,
+)
+
+from tests.gpu.test_pricing import IR, PROTOS
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "gpu", "golden_winners.json"
+)
+
+
+def golden_plans():
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    for device_name in sorted(golden):
+        entry = golden[device_name]
+        yield device_name, PROTOS["serial-shm"].replace(
+            block=tuple(entry["block"]),
+            unroll=tuple(entry["unroll"]),
+            max_registers=entry["max_registers"],
+        )
+
+
+@pytest.mark.parametrize(
+    "device_name,plan",
+    list(golden_plans()),
+    ids=[name for name, _ in golden_plans()],
+)
+class TestGoldenWinnersCertify:
+    def test_certifier_accepts(self, device_name, plan):
+        assert certify_plan_transformations(IR, plan) == []
+
+    def test_full_lint_report_has_no_refutation(self, device_name, plan):
+        report = check_plan(IR, plan, get_device(device_name))
+        assert not [d for d in report if d.code.startswith("RL3")]
+
+    def test_engine_prescreen_does_not_reject(self, device_name, plan):
+        # The winner must survive the exact prescreen the engine runs —
+        # a rejection here would mean the committed winner can no
+        # longer be re-found.
+        assert plan_rejection(IR, plan, get_device(device_name)) is None
+
+
+def test_golden_file_covers_every_registered_device():
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    assert set(golden) == set(DEVICES)

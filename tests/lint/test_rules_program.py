@@ -97,6 +97,42 @@ copyout A, B;
         src = self.SRC.replace("f (B, A);", "")
         assert "RL104" not in codes_of(src)
 
+    def test_cycle_through_shared_writer_fires(self):
+        # Regression: k1 reads X and writes both X and Y; k2 reads Y and
+        # writes X back.  The old pure-input graph dropped the X -> Y
+        # edge because k1 also writes X, missing the X -> Y -> X cycle —
+        # X is *not* k1's exclusive array (k2 writes it too), so the
+        # read is a genuine cross-kernel input.
+        src = """
+parameter N=64;
+iterator k, j, i;
+double X[N,N,N], Y[N,N,N];
+copyin X;
+stencil fwd (P, Q, S) { P[k][j][i] = S[k][j][i] + 1.0;
+                        Q[k][j][i] = S[k][j][i] * 2.0; }
+stencil back (P, S) { P[k][j][i] = S[k][j][i] - 1.0; }
+fwd (X, Y, X);
+back (X, Y);
+copyout X;
+"""
+        report = lint_source(src)
+        assert "RL104" in report.codes()
+        assert report.has_errors
+
+    def test_exclusive_in_place_writer_stays_silent(self):
+        # The legal accumulate idiom (up += ...) must not read as a
+        # cycle when no other kernel writes the accumulator.
+        src = """
+parameter N=64;
+iterator k, j, i;
+double A[N,N,N], U[N,N,N];
+copyin A, U;
+stencil acc (Y, X) { Y[k][j][i] += X[k][j][i]; }
+acc (U, A);
+copyout U;
+"""
+        assert "RL104" not in codes_of(src)
+
 
 class TestRL105HaloOutOfBounds:
     SRC = """
